@@ -1,0 +1,228 @@
+package ichannels_test
+
+// One benchmark per paper table/figure: each regenerates the artifact and
+// reports its headline metrics via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as the reproduction harness.
+
+import (
+	"testing"
+
+	"ichannels"
+)
+
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	var rep *ichannels.Report
+	var err error
+	for i := 0; i < b.N; i++ {
+		rep, err = ichannels.RunExperiment(id, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, m := range metrics {
+		if v, ok := rep.Metrics[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+func BenchmarkFig6a(b *testing.B) {
+	benchExperiment(b, "fig6a", "vcc_delta_core1_mv", "vcc_delta_both_mv")
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	benchExperiment(b, "fig6b", "vcc_delta_max_mv")
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	benchExperiment(b, "fig7a", "case1_settled_ghz", "case4_settled_ghz")
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	benchExperiment(b, "fig7b", "freq_AVX512_ghz", "temp_AVX2_c")
+}
+
+func BenchmarkFig8a(b *testing.B) {
+	benchExperiment(b, "fig8a", "tp_mean_us_Haswell", "tp_mean_us_Cannon_Lake")
+}
+
+func BenchmarkFig8bc(b *testing.B) {
+	benchExperiment(b, "fig8bc", "first_iter_delta_ns_Coffee_Lake")
+}
+
+func BenchmarkFig9(b *testing.B) {
+	benchExperiment(b, "fig9", "a_min_ipc_ratio", "b_wake_fraction_pct")
+}
+
+func BenchmarkFig10a(b *testing.B) {
+	benchExperiment(b, "fig10a", "two_core_ratio_256H_1GHz", "tp_512H_1.4GHz_1core_us")
+}
+
+func BenchmarkFig10b(b *testing.B) {
+	benchExperiment(b, "fig10b", "tp512_after_64b_us")
+}
+
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", "throttled_undelivered_frac")
+}
+
+func BenchmarkFig12a(b *testing.B) {
+	benchExperiment(b, "fig12a", "iccthread_bps", "ratio")
+}
+
+func BenchmarkFig12b(b *testing.B) {
+	benchExperiment(b, "fig12b", "iccsmt_bps", "ratio_vs_powert")
+}
+
+func BenchmarkFig13(b *testing.B) {
+	benchExperiment(b, "fig13", "separable_gt_2k_cycles")
+}
+
+func BenchmarkFig14a(b *testing.B) {
+	benchExperiment(b, "fig14a", "ber_irq_10000")
+}
+
+func BenchmarkFig14b(b *testing.B) {
+	benchExperiment(b, "fig14b", "ser_app512b_Heavy_symL4")
+}
+
+func BenchmarkFig14c(b *testing.B) {
+	benchExperiment(b, "fig14c", "ber_rate_10000")
+}
+
+func BenchmarkSevenZip(b *testing.B) {
+	benchExperiment(b, "sevenzip", "ber")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, "table1", "ber_Secure-Mode_IccThreadCovert")
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "ichannels_bw_bps")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationSerializedVR compares the cross-core channel's level
+// separability with the serialized shared VR (the real mechanism) against
+// per-core VRs (serialization removed): the covert signal collapses.
+func BenchmarkAblationSerializedVR(b *testing.B) {
+	run := func(perCore bool, seed int64) float64 {
+		proc := ichannels.CannonLake8121U()
+		opts := ichannels.MachineOptions{Processor: proc, Seed: seed}
+		if perCore {
+			opts = ichannels.MitigatedMachineOptions(ichannels.PerCoreVR, proc, seed)
+			opts.Noise = ichannels.NoiseConfig{}
+			opts.TSCJitterCycles = 0
+		}
+		m, err := ichannels.NewMachine(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := ichannels.NewChannel(m, ichannels.DefaultChannelParams(ichannels.CrossCore, proc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cal, err := ch.Calibrate(4)
+		if err != nil {
+			return 0
+		}
+		return cal.Gap
+	}
+	var shared, perCore float64
+	for i := 0; i < b.N; i++ {
+		shared = run(false, int64(i+1))
+		perCore = run(true, int64(i+1))
+	}
+	b.ReportMetric(shared, "gap_shared_vr_cycles")
+	b.ReportMetric(perCore, "gap_percore_vr_cycles")
+}
+
+// BenchmarkAblationResetTime sweeps the license hysteresis: the paper's
+// 650 µs reset-time is the dominant term of the transaction cycle, so
+// capacity scales almost inversely with it.
+func BenchmarkAblationResetTime(b *testing.B) {
+	run := func(hysteresisUS float64) float64 {
+		proc := ichannels.CannonLake8121U()
+		proc.LicenseHysteresis = ichannels.Duration(hysteresisUS) * ichannels.Microsecond
+		m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := ichannels.NewChannel(m, ichannels.DefaultChannelParams(ichannels.SameThread, proc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ch.Calibrate(4); err != nil {
+			b.Fatal(err)
+		}
+		res, err := ch.Transmit([]int{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 0})
+		if err != nil || res.BER > 0 {
+			return 0
+		}
+		return res.ThroughputBPS
+	}
+	var at650, at325 float64
+	for i := 0; i < b.N; i++ {
+		at650 = run(650)
+		at325 = run(325)
+	}
+	b.ReportMetric(at650, "bps_reset_650us")
+	b.ReportMetric(at325, "bps_reset_325us")
+}
+
+// BenchmarkAblationThrottleFactor compares the paper's measured 1-of-4 IDQ
+// gate against a hypothetical harsher 1-of-8 gate: receiver separability
+// (and thus the channel) survives either, showing the channel rides the
+// ramp *duration*, not the throttle *depth*.
+func BenchmarkAblationThrottleFactor(b *testing.B) {
+	run := func(factor float64, seed int64) float64 {
+		proc := ichannels.CannonLake8121U()
+		proc.ThrottleFactor = factor
+		m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: seed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch, err := ichannels.NewChannel(m, ichannels.DefaultChannelParams(ichannels.SMT, proc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cal, err := ch.Calibrate(4)
+		if err != nil {
+			return 0
+		}
+		return cal.Gap
+	}
+	var quarter, eighth float64
+	for i := 0; i < b.N; i++ {
+		quarter = run(0.25, int64(i+1))
+		eighth = run(0.125, int64(i+1))
+	}
+	b.ReportMetric(quarter, "gap_1of4_cycles")
+	b.ReportMetric(eighth, "gap_1of8_cycles")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator performance:
+// simulated microseconds per wall second while the covert channel runs.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	proc := ichannels.CannonLake8121U()
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: 1, Noise: ichannels.NoiseWithRates(1000, 200)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := ichannels.NewChannel(m, ichannels.DefaultChannelParams(ichannels.CrossCore, proc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ch.Calibrate(4); err != nil {
+		b.Fatal(err)
+	}
+	bits := []int{1, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ch.Transmit(bits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

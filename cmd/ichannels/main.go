@@ -1,0 +1,243 @@
+// Command ichannels regenerates the paper's figures and tables and runs
+// covert-channel demonstrations on the simulator.
+//
+// Usage:
+//
+//	ichannels list                      list available experiments
+//	ichannels exp <id> [-seed N]        run one experiment (e.g. fig10a)
+//	ichannels exp all [-seed N]         run every experiment
+//	ichannels demo [-kind K] [-seed N]  transmit a message covertly
+//	ichannels spy [-seed N]             instruction-class inference demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ichannels"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "exp":
+		err = runExp(os.Args[2:])
+	case "demo":
+		err = demo(os.Args[2:])
+	case "spy":
+		err = spy(os.Args[2:])
+	case "trace":
+		err = traceCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ichannels:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  ichannels list                      list available experiments
+  ichannels exp <id>|all [-seed N]    regenerate paper figures/tables
+  ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
+  ichannels spy [-seed N]
+  ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
+}
+
+func list() error {
+	for _, e := range ichannels.Experiments() {
+		fmt.Printf("  %-10s %s\n", e[0], e[1])
+	}
+	return nil
+}
+
+func runExp(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("exp: missing experiment id (try 'ichannels list')")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("exp", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	run := func(id string) error {
+		rep, err := ichannels.RunExperiment(id, *seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(rep)
+		return nil
+	}
+	if id == "all" {
+		for _, e := range ichannels.Experiments() {
+			if err := run(e[0]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return run(id)
+}
+
+func demo(args []string) error {
+	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
+	kindName := fs.String("kind", "cores", "channel kind: thread, smt, or cores")
+	msg := fs.String("msg", "IChannels", "message to exfiltrate")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var kind ichannels.ChannelKind
+	switch *kindName {
+	case "thread":
+		kind = ichannels.SameThread
+	case "smt":
+		kind = ichannels.SMT
+	case "cores":
+		kind = ichannels.CrossCore
+	default:
+		return fmt.Errorf("demo: unknown kind %q", *kindName)
+	}
+
+	proc := ichannels.CannonLake8121U()
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{
+		Processor:       proc,
+		Noise:           ichannels.NoiseWithRates(500, 100),
+		TSCJitterCycles: 200,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+	ch, err := ichannels.NewChannel(m, ichannels.DefaultChannelParams(kind, proc))
+	if err != nil {
+		return err
+	}
+	cal, err := ch.Calibrate(8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%v on %s: calibrated, level means %v cycles (gap %.0f)\n",
+		kind, proc.Name, cal.MeanCycles, cal.Gap)
+
+	frame, err := ichannels.EncodeFrame([]byte(*msg), 7)
+	if err != nil {
+		return err
+	}
+	res, err := ch.Transmit(frame)
+	if err != nil {
+		return err
+	}
+	payload, corrected, err := ichannels.DecodeFrame(res.DecodedBits, 7)
+	if err != nil {
+		return fmt.Errorf("frame unrecoverable after channel errors: %w", err)
+	}
+	fmt.Printf("sent %d bits in %v (%.0f b/s raw, channel BER %.4f, %d bits ECC-corrected)\n",
+		len(frame), res.Elapsed, res.ThroughputBPS, res.BER, corrected)
+	fmt.Printf("exfiltrated message: %q\n", string(payload))
+	return nil
+}
+
+// traceCmd records a Fig. 9-style NI-DAQ trace of one PHI burst and writes
+// it as CSV to stdout for offline plotting.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	procName := fs.String("proc", "Cannon Lake", "processor profile name")
+	className := fs.String("class", "256b_Heavy", "instruction class of the burst")
+	ghz := fs.Float64("ghz", 1.4, "requested frequency in GHz")
+	durUS := fs.Float64("us", 60, "trace duration in microseconds")
+	sampleNS := fs.Float64("sample", 200, "sampling interval in nanoseconds")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proc, err := ichannels.ProcessorByName(*procName)
+	if err != nil {
+		return err
+	}
+	cls, err := ichannels.ParseClass(*className)
+	if err != nil {
+		return err
+	}
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{
+		Processor:     proc,
+		RequestedFreq: ichannels.Hertz(*ghz) * ichannels.GHz,
+		Cores:         1,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rec, err := ichannels.NewRecorder(m, ichannels.Duration(*sampleNS)*ichannels.Nanosecond)
+	if err != nil {
+		return err
+	}
+	rec.Start()
+	agent := ichannels.AgentFunc{AgentName: "trace", Fn: func(env *ichannels.AgentEnv, prev *ichannels.Result) ichannels.Action {
+		if prev == nil {
+			return ichannels.Exec(ichannels.KernelFor(cls), 200)
+		}
+		return ichannels.StopAction()
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		return err
+	}
+	m.RunFor(ichannels.Duration(*durUS) * ichannels.Microsecond)
+	rec.Stop()
+	return rec.WriteCSV(os.Stdout)
+}
+
+func spy(args []string) error {
+	fs := flag.NewFlagSet("spy", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proc := ichannels.CannonLake8121U()
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	s, err := ichannels.NewSpy(m, ichannels.SMT)
+	if err != nil {
+		return err
+	}
+	if err := s.Calibrate(6); err != nil {
+		return err
+	}
+	// A "victim" alternating between instruction widths; the spy on the
+	// SMT sibling identifies each window's width.
+	victim := []ichannels.Class{
+		ichannels.Vec256Heavy, ichannels.Scalar64, ichannels.Vec512Heavy,
+		ichannels.Vec128Heavy, ichannels.Vec256Heavy, ichannels.Scalar64,
+		ichannels.Vec512Heavy, ichannels.Vec512Heavy, ichannels.Vec128Heavy,
+		ichannels.Scalar64,
+	}
+	res, err := s.Infer(victim)
+	if err != nil {
+		return err
+	}
+	fmt.Println("victim executed → spy inferred:")
+	for i := range res.Actual {
+		mark := "✓"
+		if res.Actual[i] != res.Inferred[i] {
+			mark = "✗"
+		}
+		fmt.Printf("  %-12s → %-12s %s\n", res.Actual[i], res.Inferred[i], mark)
+	}
+	fmt.Printf("accuracy: %.0f%%\n", res.Accuracy*100)
+	return nil
+}

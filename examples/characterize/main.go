@@ -1,0 +1,74 @@
+// Characterize: the paper's §5 methodology as a library user would apply
+// it to a new part — sweep the instruction classes, measure throttling
+// periods and voltage steps with the NI-DAQ-style recorder, and print the
+// multi-level structure that makes the covert channels possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ichannels"
+)
+
+// probe runs one burst of a class on core 0 and reports the throttling
+// period the core experienced plus the regulator's voltage step.
+func probe(proc ichannels.Processor, cls ichannels.Class, freq float64) (tpUS, dvMV float64, err error) {
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{
+		Processor:     proc,
+		RequestedFreq: ichannels.GHz * ichannels.Hertz(freq),
+		Cores:         1,
+		Seed:          1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	rec, err := ichannels.NewRecorder(m, 100*ichannels.Nanosecond)
+	if err != nil {
+		return 0, 0, err
+	}
+	rec.Start()
+
+	done := false
+	agent := ichannels.AgentFunc{AgentName: "probe", Fn: func(env *ichannels.AgentEnv, prev *ichannels.Result) ichannels.Action {
+		if prev == nil {
+			return ichannels.Exec(ichannels.KernelFor(cls), 150)
+		}
+		done = true
+		return ichannels.StopAction()
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		return 0, 0, err
+	}
+	m.RunFor(300 * ichannels.Microsecond)
+	rec.Stop()
+	if !done {
+		return 0, 0, fmt.Errorf("probe did not finish")
+	}
+	tp := m.Cores[0].ThrottleTime(m.Now())
+	return tp.Microseconds(), rec.MaxVccDelta(), nil
+}
+
+func main() {
+	proc := ichannels.CannonLake8121U()
+	fmt.Printf("characterizing %s (%s) — Fig. 10(a)-style sweep\n\n", proc.Name, proc.CodeName)
+	fmt.Printf("%-12s %12s %12s %12s %12s\n", "class", "TP@1.0GHz", "TP@1.4GHz", "ΔV@1.0GHz", "ΔV@1.4GHz")
+
+	classes := []ichannels.Class{
+		ichannels.Scalar64, ichannels.Vec128Light, ichannels.Vec128Heavy,
+		ichannels.Vec256Light, ichannels.Vec256Heavy, ichannels.Vec512Light,
+		ichannels.Vec512Heavy,
+	}
+	for _, cls := range classes {
+		tp10, dv10, err := probe(proc, cls, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tp14, dv14, err := probe(proc, cls, 1.4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12v %9.1f µs %9.1f µs %9.1f mV %9.1f mV\n", cls, tp10, tp14, dv10, dv14)
+	}
+	fmt.Println("\nthe discretized TP levels (L1–L5) are the covert channel's symbol alphabet")
+}

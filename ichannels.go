@@ -1,0 +1,270 @@
+// Package ichannels is a simulator-backed reproduction of "IChannels:
+// Exploiting Current Management Mechanisms to Create Covert Channels in
+// Modern Processors" (Haj-Yahya et al., ISCA 2021).
+//
+// It provides:
+//
+//   - a deterministic, picosecond-resolution discrete-event simulator of a
+//     modern client SoC's current-management subsystem (voltage regulators
+//     with slew-limited ramps, a central PMU with multi-level voltage
+//     guardbands and serialized transitions, per-core IDQ throttling, SMT,
+//     AVX power gates, Iccmax/Vccmax protection, and a two-stage thermal
+//     model), calibrated to the paper's three processors;
+//   - the three IChannels covert channels (IccThreadCovert, IccSMTcovert,
+//     IccCoresCovert), an instruction-class-inference side channel, and
+//     the four baselines the paper compares against (NetSpectre, TurboCC,
+//     DFScovert, PowerT);
+//   - the paper's three mitigations (per-core VRs, improved throttling,
+//     secure mode) and an evaluation harness;
+//   - runners that regenerate every figure and table of the paper's
+//     evaluation.
+//
+// Quickstart:
+//
+//	proc := ichannels.CannonLake8121U()
+//	m, _ := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: 1})
+//	ch, _ := ichannels.NewChannel(m, ichannels.DefaultChannelParams(ichannels.CrossCore, proc))
+//	ch.Calibrate(8)
+//	res, _ := ch.Transmit([]int{1, 0, 1, 1, 0, 0, 1, 0})
+//	fmt.Println(res.DecodedBits, res.ThroughputBPS)
+package ichannels
+
+import (
+	"ichannels/internal/baselines"
+	"ichannels/internal/core"
+	"ichannels/internal/ecc"
+	"ichannels/internal/exp"
+	"ichannels/internal/isa"
+	"ichannels/internal/mitigate"
+	"ichannels/internal/model"
+	"ichannels/internal/soc"
+	"ichannels/internal/trace"
+	"ichannels/internal/units"
+)
+
+// ---- Simulated machine ----
+
+// Machine is a fully wired simulated system-on-chip.
+type Machine = soc.Machine
+
+// MachineOptions configures a Machine.
+type MachineOptions = soc.Options
+
+// NoiseConfig describes OS interrupt/context-switch injection.
+type NoiseConfig = soc.NoiseConfig
+
+// PowerState is an instantaneous electrical snapshot.
+type PowerState = soc.PowerState
+
+// Agent is a software context bound to a hardware thread.
+type Agent = soc.Agent
+
+// AgentFunc adapts a function to the Agent interface.
+type AgentFunc = soc.AgentFunc
+
+// AgentEnv is the execution context handed to agents.
+type AgentEnv = soc.Env
+
+// Action and Result are the agent protocol types.
+type (
+	Action = soc.Action
+	Result = soc.Result
+)
+
+// Agent action constructors.
+var (
+	Exec       = soc.Exec
+	SpinUntil  = soc.SpinUntil
+	IdleFor    = soc.IdleFor
+	StopAction = soc.Stop
+)
+
+// NewMachine builds a machine from options.
+func NewMachine(opts MachineOptions) (*Machine, error) { return soc.New(opts) }
+
+// NoiseWithRates builds a noise config with default event durations.
+func NoiseWithRates(interruptsPerSec, ctxSwitchesPerSec float64) NoiseConfig {
+	return soc.WithRates(interruptsPerSec, ctxSwitchesPerSec)
+}
+
+// ---- Processor profiles ----
+
+// Processor is a calibrated processor profile.
+type Processor = model.Processor
+
+// The three parts characterized in the paper, plus the §6.4 server
+// extension profile (extrapolated, not calibrated against published data).
+var (
+	Haswell4770K     = model.Haswell4770K
+	CoffeeLake9700K  = model.CoffeeLake9700K
+	CannonLake8121U  = model.CannonLake8121U
+	XeonPlatinum8160 = model.XeonPlatinum8160
+)
+
+// Processors returns all calibrated profiles.
+func Processors() []Processor { return model.All() }
+
+// ProcessorByName looks up a profile by marketing or code name.
+func ProcessorByName(name string) (Processor, error) { return model.ByName(name) }
+
+// ---- Instruction model ----
+
+// Class is an instruction computational-intensity class.
+type Class = isa.Class
+
+// Kernel is an instruction loop.
+type Kernel = isa.Kernel
+
+// The seven intensity classes (paper §4/§5.5).
+const (
+	Scalar64    = isa.Scalar64
+	Vec128Light = isa.Vec128Light
+	Vec128Heavy = isa.Vec128Heavy
+	Vec256Light = isa.Vec256Light
+	Vec256Heavy = isa.Vec256Heavy
+	Vec512Light = isa.Vec512Light
+	Vec512Heavy = isa.Vec512Heavy
+)
+
+// KernelFor returns the canonical loop kernel for a class.
+func KernelFor(c Class) Kernel { return isa.KernelFor(c) }
+
+// ParseClass converts a class name ("64b", "256b_Heavy", ...) to a Class.
+func ParseClass(s string) (Class, error) { return isa.ParseClass(s) }
+
+// ---- Covert channels (the paper's contribution) ----
+
+// Channel is one configured IChannels covert channel.
+type Channel = core.Channel
+
+// ChannelKind selects the variant (SameThread, SMT, CrossCore).
+type ChannelKind = core.Kind
+
+// Channel variants.
+const (
+	SameThread = core.SameThread
+	SMT        = core.SMT
+	CrossCore  = core.CrossCore
+)
+
+// ChannelParams time-boxes covert transactions.
+type ChannelParams = core.Params
+
+// Calibration is a learned decode rule.
+type Calibration = core.Calibration
+
+// TransmitResult reports a covert transmission.
+type TransmitResult = core.TransmitResult
+
+// Symbol is a 2-bit covert symbol.
+type Symbol = core.Symbol
+
+// Spy is the §6.5 instruction-class-inference side channel.
+type Spy = core.Spy
+
+// NewChannel builds a covert channel on a machine.
+func NewChannel(m *Machine, p ChannelParams) (*Channel, error) { return core.New(m, p) }
+
+// DefaultChannelParams returns tuned transaction parameters for a kind on
+// a processor.
+func DefaultChannelParams(kind ChannelKind, p Processor) ChannelParams {
+	return core.DefaultParams(kind, p)
+}
+
+// NewSpy builds the side-channel observer.
+func NewSpy(m *Machine, kind ChannelKind) (*Spy, error) { return core.NewSpy(m, kind) }
+
+// ---- Baselines ----
+
+// Baseline channel implementations compared against in Fig. 12 / Table 2.
+type (
+	NetSpectre = baselines.NetSpectre
+	TurboCC    = baselines.TurboCC
+	DFScovert  = baselines.DFScovert
+	PowerT     = baselines.PowerT
+)
+
+// Baseline constructors.
+var (
+	NewNetSpectre = baselines.NewNetSpectre
+	NewTurboCC    = baselines.NewTurboCC
+	NewDFScovert  = baselines.NewDFScovert
+	NewPowerT     = baselines.NewPowerT
+)
+
+// ---- Mitigations ----
+
+// Mitigation identifies one of the paper's §7 defenses.
+type Mitigation = mitigate.Kind
+
+// The mitigations of Table 1.
+const (
+	NoMitigation       = mitigate.None
+	PerCoreVR          = mitigate.PerCoreVR
+	ImprovedThrottling = mitigate.ImprovedThrottling
+	SecureMode         = mitigate.SecureMode
+)
+
+// MitigationAssessment grades a channel under a mitigation.
+type MitigationAssessment = mitigate.Assessment
+
+// EvaluateMitigation attacks a mitigated machine and grades the outcome.
+func EvaluateMitigation(k Mitigation, ch ChannelKind, p Processor, nBits int, seed int64) (*MitigationAssessment, error) {
+	return mitigate.Evaluate(k, ch, p, nBits, seed)
+}
+
+// MitigatedMachineOptions returns machine options with mitigation k
+// applied (including the evaluation noise environment).
+func MitigatedMachineOptions(k Mitigation, p Processor, seed int64) MachineOptions {
+	return mitigate.MachineOptions(k, p, seed)
+}
+
+// ---- Coding (noise recovery, §6.3) ----
+
+// Frame coding helpers: Hamming(7,4) + interleaving + CRC-8 framing.
+var (
+	EncodeFrame = ecc.EncodeFrame
+	DecodeFrame = ecc.DecodeFrame
+)
+
+// ---- Measurement ----
+
+// Recorder samples a machine like the paper's NI-DAQ card.
+type Recorder = trace.Recorder
+
+// NewRecorder creates a sampler with the given interval.
+func NewRecorder(m *Machine, interval Duration) (*Recorder, error) {
+	return trace.NewRecorder(m, interval)
+}
+
+// ---- Units ----
+
+// Time and Duration are simulated picosecond timestamps/spans; Hertz is a
+// frequency.
+type (
+	Time     = units.Time
+	Duration = units.Duration
+	Hertz    = units.Hertz
+)
+
+// Common duration and frequency constants.
+const (
+	Nanosecond  = units.Nanosecond
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Second      = units.Second
+	GHz         = units.GHz
+	MHz         = units.MHz
+)
+
+// ---- Experiments ----
+
+// Report is a regenerated figure/table.
+type Report = exp.Report
+
+// RunExperiment regenerates one of the paper's figures or tables by ID
+// (fig6a…fig14c, sevenzip, table1, table2).
+func RunExperiment(id string, seed int64) (*Report, error) { return exp.Run(id, seed) }
+
+// Experiments lists available experiment IDs with descriptions.
+func Experiments() [][2]string { return exp.Experiments() }

@@ -1,0 +1,102 @@
+package ichannels_test
+
+import (
+	"testing"
+
+	"ichannels"
+)
+
+// The root package is the public API surface; these tests exercise it the
+// way a downstream user would.
+
+func TestQuickstartFlow(t *testing.T) {
+	proc := ichannels.CannonLake8121U()
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := ichannels.NewChannel(m, ichannels.DefaultChannelParams(ichannels.CrossCore, proc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Calibrate(4); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.Transmit([]int{1, 0, 1, 1, 0, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER != 0 {
+		t.Fatalf("BER = %g", res.BER)
+	}
+}
+
+func TestProcessorsExposed(t *testing.T) {
+	if len(ichannels.Processors()) != 3 {
+		t.Fatal("three characterized processors expected")
+	}
+	if _, err := ichannels.ProcessorByName("Cannon Lake"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameCodingExposed(t *testing.T) {
+	frame, err := ichannels.EncodeFrame([]byte("hi"), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ichannels.DecodeFrame(frame, 7)
+	if err != nil || string(back) != "hi" {
+		t.Fatalf("frame roundtrip: %q, %v", back, err)
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(ichannels.Experiments()) < 19 {
+		t.Fatalf("experiments = %d", len(ichannels.Experiments()))
+	}
+	rep, err := ichannels.RunExperiment("fig11", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["throttled_undelivered_frac"] < 0.7 {
+		t.Fatal("fig11 metric missing")
+	}
+}
+
+func TestMitigationAPI(t *testing.T) {
+	a, err := ichannels.EvaluateMitigation(ichannels.SecureMode, ichannels.SameThread,
+		ichannels.CannonLake8121U(), 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BER < 0.3 {
+		t.Fatalf("secure mode left BER at %g", a.BER)
+	}
+}
+
+func TestAgentAPI(t *testing.T) {
+	proc := ichannels.CannonLake8121U()
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	agent := ichannels.AgentFunc{AgentName: "user", Fn: func(env *ichannels.AgentEnv, prev *ichannels.Result) ichannels.Action {
+		if prev == nil {
+			return ichannels.Exec(ichannels.KernelFor(ichannels.Vec256Heavy), 100)
+		}
+		done = true
+		return ichannels.StopAction()
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(200 * ichannels.Microsecond)
+	if !done {
+		t.Fatal("agent did not complete")
+	}
+	if m.Cores[0].ThrottleTime(m.Now()) <= 0 {
+		t.Fatal("PHI burst must have throttled the core")
+	}
+}

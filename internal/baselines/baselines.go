@@ -1,0 +1,65 @@
+// Package baselines reimplements, on the same simulator substrate, the
+// four covert channels the paper compares against (§6.2, Fig. 12,
+// Table 2):
+//
+//   - NetSpectre [Schwarz+ ESORICS'19]: single-level AVX2 throttle
+//     side-effect on the same hardware thread — 1 bit per transaction.
+//   - TurboCC [Kalmbach+ '20]: cross-core Turbo-frequency modulation via
+//     PHI licenses — bits take tens of milliseconds because frequency
+//     restoration is on the PMU's slow hysteresis.
+//   - DFScovert [Alagappan+ VLSI-SoC'17]: software DVFS governor
+//     modulation — slower still (tens of ms per governor actuation).
+//   - PowerT [Khatamifard+ HPCA'19]: thermal-state modulation — bits ride
+//     the millisecond-scale die thermal time constant.
+//
+// Each baseline actually transmits bits through the simulated mechanism;
+// throughput differences against IChannels emerge from mechanism latency,
+// exactly as the paper argues.
+package baselines
+
+import (
+	"fmt"
+
+	"ichannels/internal/stats"
+	"ichannels/internal/units"
+)
+
+// Result reports one baseline transmission.
+type Result struct {
+	Name          string
+	SentBits      []int
+	DecodedBits   []int
+	BER           float64
+	ThroughputBPS float64
+	Elapsed       units.Duration
+}
+
+func finishResult(name string, sent, decoded []int, elapsed units.Duration) (*Result, error) {
+	if len(decoded) != len(sent) {
+		return nil, fmt.Errorf("baselines: %s decoded %d of %d bits (simulation ended early?)",
+			name, len(decoded), len(sent))
+	}
+	r := &Result{
+		Name:        name,
+		SentBits:    sent,
+		DecodedBits: decoded,
+		BER:         stats.BER(sent, decoded),
+		Elapsed:     elapsed,
+	}
+	if elapsed > 0 {
+		r.ThroughputBPS = float64(len(sent)) / elapsed.Seconds()
+	}
+	return r, nil
+}
+
+func validBits(bits []int) error {
+	if len(bits) == 0 {
+		return fmt.Errorf("baselines: empty bit stream")
+	}
+	for i, b := range bits {
+		if b&^1 != 0 {
+			return fmt.Errorf("baselines: non-bit value %d at index %d", b, i)
+		}
+	}
+	return nil
+}

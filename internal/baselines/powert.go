@@ -1,0 +1,196 @@
+package baselines
+
+import (
+	"fmt"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/soc"
+	"ichannels/internal/stats"
+	"ichannels/internal/units"
+)
+
+// PowerT models Khatamifard et al.'s POWERT channel: the sender modulates
+// the package's power/thermal state (here: die-stage junction temperature)
+// by running a power virus, and the receiver polls the thermal sensor. The
+// bit period rides the die thermal time constant (~15 ms), giving the
+// ~122 b/s the paper quotes — still 24× below IChannels.
+type PowerT struct {
+	m *soc.Machine
+	// BitPeriod is one bit window.
+	BitPeriod units.Duration
+	// HeatFraction is the fraction of the window the sender heats for a
+	// 1 bit.
+	HeatFraction float64
+	// PollInterval is the receiver's thermal-sensor polling period.
+	PollInterval units.Duration
+
+	threshold float64
+}
+
+// NewPowerT builds the channel with sender on core 0 and receiver polling
+// from core 1.
+func NewPowerT(m *soc.Machine) (*PowerT, error) {
+	if m == nil {
+		return nil, fmt.Errorf("baselines: nil machine")
+	}
+	if len(m.Cores) < 2 {
+		return nil, fmt.Errorf("baselines: PowerT needs two cores")
+	}
+	return &PowerT{
+		m:            m,
+		BitPeriod:    8200 * units.Microsecond, // ≈122 b/s
+		HeatFraction: 0.6,
+		PollInterval: 500 * units.Microsecond,
+	}, nil
+}
+
+// ptSender runs the heater burst for 1 bits.
+type ptSender struct {
+	pt   *PowerT
+	base units.Time
+	bits []int
+	idx  int
+	sent bool
+}
+
+func (a *ptSender) Name() string { return "powert.sender" }
+
+func (a *ptSender) Next(env *soc.Env, prev *soc.Result) soc.Action {
+	if !a.sent {
+		if a.idx >= len(a.bits) {
+			return soc.Stop()
+		}
+		a.sent = true
+		return soc.SpinUntil(a.base.Add(units.Duration(a.idx) * a.pt.BitPeriod))
+	}
+	bit := a.bits[a.idx]
+	a.idx++
+	a.sent = false
+	if bit == 1 {
+		heat := units.Duration(float64(a.pt.BitPeriod) * a.pt.HeatFraction)
+		// Size the virus loop to roughly fill the heating window.
+		freq := env.M.PMU.Frequency()
+		k := isa.Loop256Heavy
+		iters := int64(heat.Seconds()*float64(freq)/float64(k.UopsPerIter)) + 1
+		return soc.Exec(k, iters)
+	}
+	return a.Next(env, nil)
+}
+
+// ptReceiver polls the thermal sensor through each window and records the
+// start→end temperature delta.
+type ptReceiver struct {
+	pt      *PowerT
+	base    units.Time
+	windows int
+	idx     int
+	polls   int
+	tStart  float64
+	tMax    float64
+	deltas  []float64
+	phase   int // 0 wait-window, 1 polling
+}
+
+func (a *ptReceiver) Name() string { return "powert.receiver" }
+
+func (a *ptReceiver) Next(env *soc.Env, prev *soc.Result) soc.Action {
+	switch a.phase {
+	case 0:
+		if a.idx >= a.windows {
+			return soc.Stop()
+		}
+		a.phase = 1
+		a.polls = 0
+		return soc.SpinUntil(a.base.Add(units.Duration(a.idx) * a.pt.BitPeriod))
+	case 1:
+		temp := float64(env.M.Probe().Temp)
+		if a.polls == 0 {
+			a.tStart = temp
+			a.tMax = temp
+		} else if temp > a.tMax {
+			a.tMax = temp
+		}
+		a.polls++
+		windowEnd := a.base.Add(units.Duration(a.idx+1) * a.pt.BitPeriod)
+		nextPoll := env.Now().Add(a.pt.PollInterval)
+		if nextPoll.Add(a.pt.PollInterval/2) >= windowEnd {
+			// Last poll of the window: decode on the peak rise over the
+			// window (robust to tail-end cooling).
+			a.deltas = append(a.deltas, a.tMax-a.tStart)
+			a.idx++
+			a.phase = 0
+			return a.Next(env, nil)
+		}
+		return soc.IdleFor(a.pt.PollInterval)
+	default:
+		panic("baselines: powert receiver in invalid phase")
+	}
+}
+
+func (p *PowerT) run(bits []int) ([]float64, error) {
+	base := p.m.Now().Add(50 * units.Microsecond)
+	snd := &ptSender{pt: p, base: base, bits: bits}
+	rcv := &ptReceiver{pt: p, base: base, windows: len(bits)}
+	if _, err := p.m.Bind(0, 0, snd); err != nil {
+		return nil, err
+	}
+	if _, err := p.m.Bind(1, 0, rcv); err != nil {
+		return nil, err
+	}
+	end := base.Add(units.Duration(len(bits)) * p.BitPeriod).Add(time500us)
+	p.m.RunUntil(end)
+	if len(rcv.deltas) != len(bits) {
+		return nil, fmt.Errorf("baselines: powert measured %d of %d bits", len(rcv.deltas), len(bits))
+	}
+	return rcv.deltas, nil
+}
+
+// Calibrate learns the heat/no-heat decision threshold.
+func (p *PowerT) Calibrate(pairs int) error {
+	if pairs <= 0 {
+		return fmt.Errorf("baselines: pairs must be positive")
+	}
+	bits := make([]int, 0, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		bits = append(bits, 1, 0)
+	}
+	deltas, err := p.run(bits)
+	if err != nil {
+		return err
+	}
+	var ones, zeros []float64
+	for i, d := range deltas {
+		if bits[i] == 1 {
+			ones = append(ones, d)
+		} else {
+			zeros = append(zeros, d)
+		}
+	}
+	mo, mz := stats.Summarize(ones).Mean, stats.Summarize(zeros).Mean
+	if mo <= mz {
+		return fmt.Errorf("baselines: powert calibration found no thermal contrast (1→%g°C, 0→%g°C)", mo, mz)
+	}
+	p.threshold = (mo + mz) / 2
+	return nil
+}
+
+// Transmit sends bits (1 bit per window) and decodes them.
+func (p *PowerT) Transmit(bits []int) (*Result, error) {
+	if err := validBits(bits); err != nil {
+		return nil, err
+	}
+	if p.threshold == 0 {
+		return nil, fmt.Errorf("baselines: powert not calibrated")
+	}
+	deltas, err := p.run(bits)
+	if err != nil {
+		return nil, err
+	}
+	decoded := make([]int, len(deltas))
+	for i, d := range deltas {
+		if d > p.threshold {
+			decoded[i] = 1
+		}
+	}
+	return finishResult("PowerT", bits, decoded, units.Duration(len(bits))*p.BitPeriod)
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"fmt"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/soc"
+	"ichannels/internal/units"
+)
+
+// Spy turns the Multi-Throttling-SMT and Multi-Throttling-Cores
+// side-effects into a *side* channel (paper §6.5): without any cooperating
+// sender, an attacker co-located with a victim infers the operand width of
+// the instructions the victim is executing (64/128/256/512-bit) from the
+// throttling period the attacker itself experiences.
+type Spy struct {
+	m *soc.Machine
+	// Kind must be SMT or CrossCore (a victim does not time-share its
+	// own thread with the attacker).
+	Kind Kind
+	// Window is the observation window per classification.
+	Window units.Duration
+	// MeasureIters sizes the spy's probe loop.
+	MeasureIters int64
+	// VictimCore/VictimSlot and SpyCore/SpySlot place the two parties.
+	VictimCore, VictimSlot int
+	SpyCore, SpySlot       int
+
+	// means[w] is the calibrated measurement for width class w.
+	means []float64
+	// widths are the distinguishable victim classes.
+	widths []isa.Class
+}
+
+// VictimWidths returns the instruction classes the spy distinguishes:
+// the heavy kernel of each operand width (paper §6.5 names the widths).
+func VictimWidths() []isa.Class {
+	return []isa.Class{isa.Scalar64, isa.Vec128Heavy, isa.Vec256Heavy, isa.Vec512Heavy}
+}
+
+// NewSpy builds a side-channel observer.
+func NewSpy(m *soc.Machine, kind Kind) (*Spy, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil machine")
+	}
+	s := &Spy{
+		m:            m,
+		Kind:         kind,
+		Window:       m.Proc.LicenseHysteresis + 60*units.Microsecond,
+		MeasureIters: 160,
+		widths:       VictimWidths(),
+	}
+	switch kind {
+	case SMT:
+		if m.Proc.SMTWays < 2 {
+			return nil, fmt.Errorf("core: SMT spy needs an SMT processor")
+		}
+		s.SpySlot = 1
+	case CrossCore:
+		if len(m.Cores) < 2 {
+			return nil, fmt.Errorf("core: cross-core spy needs two cores")
+		}
+		s.SpyCore = 1
+		s.MeasureIters = 150
+	default:
+		return nil, fmt.Errorf("core: spy kind must be SMT or CrossCore, got %v", kind)
+	}
+	return s, nil
+}
+
+// spyProbe measures one window: spin to the window boundary (+2 µs for the
+// cross-core variant so the victim's ramp is in flight), then time the
+// probe loop.
+type spyProbe struct {
+	s        *Spy
+	base     units.Time
+	windows  int
+	idx      int
+	phase    int
+	measures []int64
+}
+
+func (a *spyProbe) Name() string { return "spy" }
+
+func (a *spyProbe) probeKernel() isa.Kernel {
+	if a.s.Kind == CrossCore {
+		return isa.Loop128Heavy
+	}
+	return isa.Loop64b
+}
+
+func (a *spyProbe) Next(env *soc.Env, prev *soc.Result) soc.Action {
+	switch a.phase {
+	case 0:
+		if prev != nil && prev.Action.Kind == soc.ActExec {
+			a.measures = append(a.measures, prev.ElapsedTSC())
+		}
+		if a.idx >= a.windows {
+			return soc.Stop()
+		}
+		a.phase = 1
+		off := units.Duration(0)
+		if a.s.Kind == CrossCore {
+			off = 2 * units.Microsecond
+		}
+		return soc.SpinUntil(a.base.Add(units.Duration(a.idx)*a.s.Window + off))
+	case 1:
+		a.idx++
+		a.phase = 0
+		return soc.Exec(a.probeKernel(), a.s.MeasureIters)
+	default:
+		panic("core: spy probe in invalid phase")
+	}
+}
+
+// victimLoop executes one kernel class per window — the code whose
+// instruction mix the spy tries to identify.
+type victimLoop struct {
+	s       *Spy
+	base    units.Time
+	classes []isa.Class
+	idx     int
+	sent    bool
+}
+
+func (v *victimLoop) Name() string { return "victim" }
+
+func (v *victimLoop) Next(env *soc.Env, prev *soc.Result) soc.Action {
+	if !v.sent {
+		if v.idx >= len(v.classes) {
+			return soc.Stop()
+		}
+		v.sent = true
+		return soc.SpinUntil(v.base.Add(units.Duration(v.idx) * v.s.Window))
+	}
+	cls := v.classes[v.idx]
+	v.idx++
+	v.sent = false
+	return soc.Exec(isa.KernelFor(cls), 64)
+}
+
+// observe runs the spy against a victim executing the given class
+// sequence and returns the spy's per-window measurements.
+func (s *Spy) observe(classes []isa.Class) ([]int64, error) {
+	base := s.m.Now().Add(20 * units.Microsecond)
+	victim := &victimLoop{s: s, base: base, classes: classes}
+	probe := &spyProbe{s: s, base: base, windows: len(classes)}
+	if _, err := s.m.Bind(s.VictimCore, s.VictimSlot, victim); err != nil {
+		return nil, err
+	}
+	if _, err := s.m.Bind(s.SpyCore, s.SpySlot, probe); err != nil {
+		return nil, err
+	}
+	end := base.Add(units.Duration(len(classes)) * s.Window).Add(100 * units.Microsecond)
+	s.m.RunUntil(end)
+	if len(probe.measures) != len(classes) {
+		return nil, fmt.Errorf("core: spy captured %d of %d windows", len(probe.measures), len(classes))
+	}
+	return probe.measures, nil
+}
+
+// Calibrate teaches the spy the measurement signature of each victim
+// width using a training victim under the attacker's control.
+func (s *Spy) Calibrate(perWidth int) error {
+	if perWidth <= 0 {
+		return fmt.Errorf("core: perWidth must be positive")
+	}
+	var classes []isa.Class
+	for i := 0; i < perWidth; i++ {
+		classes = append(classes, s.widths...)
+	}
+	measures, err := s.observe(classes)
+	if err != nil {
+		return err
+	}
+	sums := make([]float64, len(s.widths))
+	counts := make([]int, len(s.widths))
+	for i, m := range measures {
+		w := i % len(s.widths)
+		sums[w] += float64(m)
+		counts[w]++
+	}
+	s.means = make([]float64, len(s.widths))
+	for i := range sums {
+		s.means[i] = sums[i] / float64(counts[i])
+	}
+	return nil
+}
+
+// InferenceResult reports a side-channel observation run.
+type InferenceResult struct {
+	Actual   []isa.Class
+	Inferred []isa.Class
+	Accuracy float64
+	// Confusion[a][p] counts windows with actual width index a inferred
+	// as width index p.
+	Confusion [][]int
+}
+
+// Infer observes a victim running the given class sequence (one class per
+// window) and classifies each window by nearest calibrated mean.
+func (s *Spy) Infer(classes []isa.Class) (*InferenceResult, error) {
+	if s.means == nil {
+		return nil, fmt.Errorf("core: spy not calibrated")
+	}
+	for _, c := range classes {
+		if s.widthIndex(c) < 0 {
+			return nil, fmt.Errorf("core: class %v is not a calibrated victim width", c)
+		}
+	}
+	measures, err := s.observe(classes)
+	if err != nil {
+		return nil, err
+	}
+	res := &InferenceResult{Actual: classes, Confusion: make([][]int, len(s.widths))}
+	for i := range res.Confusion {
+		res.Confusion[i] = make([]int, len(s.widths))
+	}
+	correct := 0
+	for i, m := range measures {
+		best, bestD := 0, -1.0
+		for w, mean := range s.means {
+			d := float64(m) - mean
+			if d < 0 {
+				d = -d
+			}
+			if bestD < 0 || d < bestD {
+				best, bestD = w, d
+			}
+		}
+		res.Inferred = append(res.Inferred, s.widths[best])
+		ai := s.widthIndex(classes[i])
+		res.Confusion[ai][best]++
+		if s.widths[best] == classes[i] {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(len(classes))
+	return res, nil
+}
+
+func (s *Spy) widthIndex(c isa.Class) int {
+	for i, w := range s.widths {
+		if w == c {
+			return i
+		}
+	}
+	return -1
+}

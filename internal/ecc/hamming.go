@@ -1,0 +1,97 @@
+// Package ecc provides the error-detection and -correction coding the
+// paper recommends for operating IChannels under system noise (§6.3):
+// Hamming(7,4) single-error-correcting code plus CRC-8 framing for
+// end-to-end validation of exfiltrated payloads.
+package ecc
+
+import "fmt"
+
+// Hamming(7,4): data bits d1..d4 and parity bits p1,p2,p3 arranged in the
+// classic positions 1..7 (p1 p2 d1 p3 d2 d3 d4). Corrects any single bit
+// error per 7-bit codeword.
+
+// HammingEncode expands a bit slice (length divisible by 4) into its
+// Hamming(7,4) codeword stream.
+func HammingEncode(bits []int) ([]int, error) {
+	if len(bits)%4 != 0 {
+		return nil, fmt.Errorf("ecc: data length %d not divisible by 4", len(bits))
+	}
+	for i, b := range bits {
+		if b&^1 != 0 {
+			return nil, fmt.Errorf("ecc: non-bit value %d at index %d", b, i)
+		}
+	}
+	out := make([]int, 0, len(bits)/4*7)
+	for i := 0; i < len(bits); i += 4 {
+		d1, d2, d3, d4 := bits[i], bits[i+1], bits[i+2], bits[i+3]
+		p1 := d1 ^ d2 ^ d4
+		p2 := d1 ^ d3 ^ d4
+		p3 := d2 ^ d3 ^ d4
+		out = append(out, p1, p2, d1, p3, d2, d3, d4)
+	}
+	return out, nil
+}
+
+// HammingDecode corrects single-bit errors per codeword and returns the
+// data bits along with the number of corrections applied.
+func HammingDecode(code []int) (data []int, corrected int, err error) {
+	if len(code)%7 != 0 {
+		return nil, 0, fmt.Errorf("ecc: code length %d not divisible by 7", len(code))
+	}
+	data = make([]int, 0, len(code)/7*4)
+	for i := 0; i < len(code); i += 7 {
+		w := [8]int{} // 1-indexed positions
+		for j := 0; j < 7; j++ {
+			b := code[i+j]
+			if b&^1 != 0 {
+				return nil, 0, fmt.Errorf("ecc: non-bit value %d at index %d", b, i+j)
+			}
+			w[j+1] = b
+		}
+		s1 := w[1] ^ w[3] ^ w[5] ^ w[7]
+		s2 := w[2] ^ w[3] ^ w[6] ^ w[7]
+		s3 := w[4] ^ w[5] ^ w[6] ^ w[7]
+		syndrome := s1 | s2<<1 | s3<<2
+		if syndrome != 0 {
+			w[syndrome] ^= 1
+			corrected++
+		}
+		data = append(data, w[3], w[5], w[6], w[7])
+	}
+	return data, corrected, nil
+}
+
+// Interleave reorders bits with stride `depth` so that a burst of up to
+// `depth` consecutive channel errors lands in distinct codewords (each
+// correctable by Hamming). Interleave and Deinterleave are inverses for
+// any input length.
+func Interleave(bits []int, depth int) ([]int, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("ecc: interleave depth must be positive, got %d", depth)
+	}
+	n := len(bits)
+	out := make([]int, 0, n)
+	for start := 0; start < depth; start++ {
+		for i := start; i < n; i += depth {
+			out = append(out, bits[i])
+		}
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave with the same depth.
+func Deinterleave(bits []int, depth int) ([]int, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("ecc: interleave depth must be positive, got %d", depth)
+	}
+	n := len(bits)
+	out := make([]int, n)
+	k := 0
+	for start := 0; start < depth; start++ {
+		for i := start; i < n; i += depth {
+			out[i] = bits[k]
+			k++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,378 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// These are the repository's integration tests: every figure/table runner
+// must execute and its key metrics must match the paper's shapes.
+
+func mustRun(t *testing.T, id string) *Report {
+	t.Helper()
+	rep, err := Run(id, 1)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if rep.ID != id {
+		t.Fatalf("report ID %q", rep.ID)
+	}
+	if len(rep.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	if !strings.Contains(rep.String(), id) {
+		t.Fatalf("%s: String() must mention the ID", id)
+	}
+	return rep
+}
+
+func metric(t *testing.T, rep *Report, key string) float64 {
+	t.Helper()
+	v, ok := rep.Metrics[key]
+	if !ok {
+		t.Fatalf("%s: missing metric %q (have %v)", rep.ID, key, rep.Metrics)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig6a", "fig6b", "fig7a", "fig7b", "fig8a", "fig8bc", "fig9",
+		"fig10a", "fig10b", "fig11", "fig12a", "fig12b", "fig13",
+		"fig14a", "fig14b", "fig14c", "sevenzip", "table1", "table2",
+	}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e[0]] = true
+		if e[1] == "" {
+			t.Errorf("%s has no description", e[0])
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if _, err := Run("nope", 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig6a(t *testing.T) {
+	rep := mustRun(t, "fig6a")
+	// Paper: +8 mV for the first core, ≈17 mV with both, 0 after.
+	if d := metric(t, rep, "vcc_delta_core1_mv"); d < 7 || d > 9 {
+		t.Errorf("first-core delta %.1f mV, want ≈8", d)
+	}
+	if d := metric(t, rep, "vcc_delta_both_mv"); d < 15.5 || d > 18.5 {
+		t.Errorf("both-cores delta %.1f mV, want ≈17", d)
+	}
+	if d := metric(t, rep, "vcc_delta_end_mv"); d > 0.5 {
+		t.Errorf("end delta %.1f mV, want 0", d)
+	}
+	// Key Conclusion 1: frequency untouched at 2 GHz.
+	if metric(t, rep, "freq_min_ghz") != 2 || metric(t, rep, "freq_max_ghz") != 2 {
+		t.Error("frequency moved during the AVX2 phases")
+	}
+}
+
+func TestFig6b(t *testing.T) {
+	rep := mustRun(t, "fig6b")
+	if d := metric(t, rep, "vcc_delta_max_mv"); d < 15 || d > 19 {
+		t.Errorf("calculix max delta %.1f mV, want ≈17", d)
+	}
+	if metric(t, rep, "freq_min_ghz") != 2 {
+		t.Error("frequency moved during calculix")
+	}
+}
+
+func TestFig7a(t *testing.T) {
+	rep := mustRun(t, "fig7a")
+	// Desktop: non-AVX holds 4.9; AVX2 retreats to 4.8.
+	if metric(t, rep, "case0_settled_ghz") != 4.9 {
+		t.Error("desktop non-AVX must hold 4.9 GHz")
+	}
+	if metric(t, rep, "case1_settled_ghz") != 4.8 {
+		t.Error("desktop AVX2@4.9 must retreat to 4.8 GHz (Vccmax)")
+	}
+	// Mobile: non-AVX holds 3.1; AVX2 retreats below it (Iccmax).
+	if metric(t, rep, "case3_settled_ghz") != 3.1 {
+		t.Error("mobile non-AVX must hold 3.1 GHz")
+	}
+	if metric(t, rep, "case4_settled_ghz") >= 3.1 {
+		t.Error("mobile AVX2@3.1 must retreat (Iccmax)")
+	}
+	if metric(t, rep, "case5_settled_ghz") != 2.2 {
+		t.Error("mobile AVX2@2.2 must hold")
+	}
+}
+
+func TestFig7b(t *testing.T) {
+	rep := mustRun(t, "fig7b")
+	fNon := metric(t, rep, "freq_Non-AVX_ghz")
+	fAVX2 := metric(t, rep, "freq_AVX2_ghz")
+	fAVX512 := metric(t, rep, "freq_AVX512_ghz")
+	if !(fNon > fAVX2 && fAVX2 > fAVX512) {
+		t.Errorf("frequency must step down per phase: %.2f / %.2f / %.2f", fNon, fAVX2, fAVX512)
+	}
+	// Icc capped at 29 A in every phase.
+	for _, k := range []string{"icc_Non-AVX_a", "icc_AVX2_a", "icc_AVX512_a"} {
+		if icc := metric(t, rep, k); icc > 29 {
+			t.Errorf("%s = %.1f A exceeds Iccmax", k, icc)
+		}
+	}
+	// Paper: junction temperature 58–62 °C, far below Tjmax=100.
+	tAVX2 := metric(t, rep, "temp_AVX2_c")
+	if tAVX2 < 50 || tAVX2 > 70 {
+		t.Errorf("AVX2 temp %.1f °C, want ≈58-62", tAVX2)
+	}
+}
+
+func TestFig8a(t *testing.T) {
+	rep := mustRun(t, "fig8a")
+	hsw := metric(t, rep, "tp_mean_us_Haswell")
+	cfl := metric(t, rep, "tp_mean_us_Coffee_Lake")
+	cnl := metric(t, rep, "tp_mean_us_Cannon_Lake")
+	// Paper: Haswell ≈9 µs (FIVR), Coffee Lake ≈12, Cannon Lake 12-15.
+	if hsw < 8 || hsw > 10 {
+		t.Errorf("Haswell TP %.1f µs, want ≈9", hsw)
+	}
+	if cfl < 11 || cfl > 14 {
+		t.Errorf("Coffee Lake TP %.1f µs, want ≈12", cfl)
+	}
+	if cnl < 12 || cnl > 15.5 {
+		t.Errorf("Cannon Lake TP %.1f µs, want 12-15", cnl)
+	}
+	if !(hsw < cfl && cfl <= cnl) {
+		t.Error("TP ordering Haswell < Coffee Lake ≤ Cannon Lake broken")
+	}
+}
+
+func TestFig8bc(t *testing.T) {
+	rep := mustRun(t, "fig8bc")
+	// Coffee Lake: first iteration ≈8-15 ns longer (gate wake); Haswell ≈0.
+	cfl := metric(t, rep, "first_iter_delta_ns_Coffee_Lake")
+	if cfl < 8 || cfl > 15 {
+		t.Errorf("Coffee Lake first-iter delta %.1f ns, want 8-15", cfl)
+	}
+	if hsw := metric(t, rep, "first_iter_delta_ns_Haswell"); hsw != 0 {
+		t.Errorf("Haswell first-iter delta %.1f ns, want 0 (no AVX gate)", hsw)
+	}
+	if metric(t, rep, "avx_gate_wakes_Haswell") != 0 {
+		t.Error("Haswell has no gate to wake")
+	}
+}
+
+func TestFig9(t *testing.T) {
+	rep := mustRun(t, "fig9")
+	// Key Conclusion 5: IPC drops to 1/4, not to zero.
+	if r := metric(t, rep, "a_min_ipc_ratio"); r < 0.2 || r > 0.3 {
+		t.Errorf("throttled IPC ratio %.2f, want 0.25", r)
+	}
+	// Sub-Turbo: frequency untouched.
+	if metric(t, rep, "a_freq_ghz") != 1.4 {
+		t.Error("sub-Turbo burst must not change frequency")
+	}
+	// Key Conclusion 3: gate wake ≈0.1% of the TP.
+	if f := metric(t, rep, "b_wake_fraction_pct"); f > 0.5 {
+		t.Errorf("wake fraction %.2f%%, want ≈0.1%%", f)
+	}
+	// Turbo: a P-state transition happened.
+	if metric(t, rep, "c_freq_after_ghz") >= metric(t, rep, "c_freq_before_ghz") {
+		t.Error("Turbo burst must downshift")
+	}
+	if metric(t, rep, "c_halt_us") <= 0 {
+		t.Error("P-state transition must include a brief halt")
+	}
+}
+
+func TestFig10a(t *testing.T) {
+	rep := mustRun(t, "fig10a")
+	// Paper: 256b_Heavy ≈5 µs → our table is calibrated to 10 µs at
+	// 1 GHz single-core for the 0-22 µs Fig. 10 band; the load-bearing
+	// shape is the two-core ratio ≈1.8 and monotone growth.
+	r := metric(t, rep, "two_core_ratio_256H_1GHz")
+	if r < 1.7 || r > 1.9 {
+		t.Errorf("two-core ratio %.2f, want ≈1.8", r)
+	}
+	one := metric(t, rep, "tp_256H_1GHz_1core_us")
+	if one < 8 || one > 12 {
+		t.Errorf("256H @1GHz TP %.1f µs", one)
+	}
+}
+
+func TestFig10b(t *testing.T) {
+	rep := mustRun(t, "fig10b")
+	// TP of 512b_Heavy decreases monotonically with predecessor
+	// intensity, ≈20 µs after 64b and ≈0 after 512b_Heavy.
+	after64 := metric(t, rep, "tp512_after_64b_us")
+	after512 := metric(t, rep, "tp512_after_512b_Heavy_us")
+	if after64 < 17 || after64 > 23 {
+		t.Errorf("TP after 64b = %.1f µs, want ≈20", after64)
+	}
+	if after512 > 0.5 {
+		t.Errorf("TP after 512b_Heavy = %.2f µs, want ≈0", after512)
+	}
+	prev := after64
+	for _, k := range []string{"tp512_after_128b_Light_us", "tp512_after_128b_Heavy_us",
+		"tp512_after_256b_Light_us", "tp512_after_256b_Heavy_us",
+		"tp512_after_512b_Light_us", "tp512_after_512b_Heavy_us"} {
+		cur := metric(t, rep, k)
+		if cur > prev+0.01 {
+			t.Errorf("%s = %.1f µs breaks monotonicity (prev %.1f)", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFig11(t *testing.T) {
+	rep := mustRun(t, "fig11")
+	thr := metric(t, rep, "throttled_undelivered_frac")
+	unthr := metric(t, rep, "unthrottled_undelivered_frac")
+	// Paper: ≈0.75 vs ≈0 (Key Conclusion 5).
+	if thr < 0.7 || thr > 0.8 {
+		t.Errorf("throttled fraction %.3f, want ≈0.75", thr)
+	}
+	if unthr > 0.05 {
+		t.Errorf("unthrottled fraction %.3f, want ≈0", unthr)
+	}
+	if metric(t, rep, "throttled_iterations") < 10 {
+		t.Error("too few throttled iterations sampled")
+	}
+}
+
+func TestFig12a(t *testing.T) {
+	rep := mustRun(t, "fig12a")
+	r := metric(t, rep, "ratio")
+	// Paper: 2×.
+	if r < 1.8 || r > 2.2 {
+		t.Errorf("IccThreadCovert/NetSpectre ratio %.2f, want ≈2", r)
+	}
+	if metric(t, rep, "iccthread_ber") != 0 {
+		t.Error("noise-free IccThreadCovert must be error-free")
+	}
+}
+
+func TestFig12b(t *testing.T) {
+	rep := mustRun(t, "fig12b")
+	// Paper: 20 / 61 / 122 b/s and 145× / 47× / 24×.
+	if v := metric(t, rep, "dfscovert_bps"); v < 18 || v > 22 {
+		t.Errorf("DFScovert %.1f b/s, want ≈20", v)
+	}
+	if v := metric(t, rep, "turbocc_bps"); v < 55 || v > 67 {
+		t.Errorf("TurboCC %.1f b/s, want ≈61", v)
+	}
+	if v := metric(t, rep, "powert_bps"); v < 115 || v > 130 {
+		t.Errorf("PowerT %.1f b/s, want ≈122", v)
+	}
+	if v := metric(t, rep, "iccsmt_bps"); v < 2600 || v > 3000 {
+		t.Errorf("IccSMTcovert %.0f b/s, want ≈2.8k", v)
+	}
+	if r := metric(t, rep, "ratio_vs_powert"); r < 20 || r > 28 {
+		t.Errorf("ratio vs PowerT %.1f, want ≈24", r)
+	}
+	if r := metric(t, rep, "ratio_vs_dfscovert"); r < 120 || r > 160 {
+		t.Errorf("ratio vs DFScovert %.0f, want ≈145", r)
+	}
+}
+
+func TestFig13(t *testing.T) {
+	rep := mustRun(t, "fig13")
+	if metric(t, rep, "separable_gt_2k_cycles") != 1 {
+		t.Error("the four TP ranges must separate by >2K cycles in low noise")
+	}
+	// Level means ordered L1 < L2 < L3 < L4 on the same-thread channel
+	// (higher intensity → shorter measurement).
+	l1 := metric(t, rep, "mean_cycles_L1")
+	l4 := metric(t, rep, "mean_cycles_L4")
+	if l1 >= l4 {
+		t.Errorf("L1 mean %.0f must be below L4 mean %.0f", l1, l4)
+	}
+}
+
+func TestFig14a(t *testing.T) {
+	rep := mustRun(t, "fig14a")
+	// Low event rates: error-free. Paper's shape: BER grows with rate.
+	if metric(t, rep, "ber_irq_1") != 0 || metric(t, rep, "ber_ctx_1") != 0 {
+		t.Error("1 event/s must be error-free")
+	}
+	if metric(t, rep, "ber_irq_10000") <= metric(t, rep, "ber_irq_100") {
+		t.Error("interrupt BER must grow with rate")
+	}
+	if metric(t, rep, "ber_irq_10000") > 0.1 {
+		t.Error("interrupt BER at 10k/s should stay under ≈0.1 (paper <0.08)")
+	}
+}
+
+func TestFig14b(t *testing.T) {
+	rep := mustRun(t, "fig14b")
+	// The paper's triangular structure: a 512b_Heavy App corrupts the
+	// lighter symbols badly, while a 128b_Heavy App corrupts nothing.
+	if v := metric(t, rep, "ser_app512b_Heavy_symL4"); v < 0.3 {
+		t.Errorf("512H app vs L4 symbol: SER %.2f, expected heavy corruption", v)
+	}
+	if v := metric(t, rep, "ser_app512b_Heavy_symL1"); v > 0.1 {
+		t.Errorf("512H app vs L1 symbol: SER %.2f, expected ≈0 (symbol ≥ app)", v)
+	}
+	if v := metric(t, rep, "ser_app128b_Heavy_symL1"); v > 0.1 {
+		t.Errorf("128H app vs L1: SER %.2f, expected ≈0", v)
+	}
+}
+
+func TestFig14c(t *testing.T) {
+	rep := mustRun(t, "fig14c")
+	low := metric(t, rep, "ber_rate_10")
+	high := metric(t, rep, "ber_rate_10000")
+	if low > 0.02 {
+		t.Errorf("BER at 10 PHIs/s = %.3f, want ≈0", low)
+	}
+	if high <= low+0.05 {
+		t.Errorf("BER must rise significantly with injection rate (%.3f → %.3f)", low, high)
+	}
+}
+
+func TestSevenZip(t *testing.T) {
+	rep := mustRun(t, "sevenzip")
+	// Paper §6.3: BER < 0.07 with 7-zip running.
+	if ber := metric(t, rep, "ber"); ber >= 0.07 {
+		t.Errorf("7-zip BER %.3f, paper reports < 0.07", ber)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rep := mustRun(t, "table1")
+	// Verdict encoding: 0 unaffected, 1 partial, 2 mitigated.
+	checks := map[string]float64{
+		"verdict_Per-core_VR_IccThreadCovert":         1,
+		"verdict_Per-core_VR_IccSMTcovert":            1,
+		"verdict_Per-core_VR_IccCoresCovert":          2,
+		"verdict_Improved_Throttling_IccThreadCovert": 0,
+		"verdict_Improved_Throttling_IccSMTcovert":    2,
+		"verdict_Improved_Throttling_IccCoresCovert":  0,
+		"verdict_Secure-Mode_IccThreadCovert":         2,
+		"verdict_Secure-Mode_IccSMTcovert":            2,
+		"verdict_Secure-Mode_IccCoresCovert":          2,
+	}
+	for k, v := range checks {
+		if got := metric(t, rep, k); got != v {
+			t.Errorf("%s = %g, want %g", k, got, v)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rep := mustRun(t, "table2")
+	ich := metric(t, rep, "ichannels_bw_bps")
+	ns := metric(t, rep, "netspectre_bw_bps")
+	tc := metric(t, rep, "turbocc_bw_bps")
+	// Paper Table 2: 3 kb/s vs 1.5 kb/s vs 61 b/s.
+	if ich < 2600 || ich > 3000 {
+		t.Errorf("IChannels BW %.0f b/s", ich)
+	}
+	if r := ich / ns; r < 1.8 || r > 2.2 {
+		t.Errorf("IChannels/NetSpectre ratio %.2f", r)
+	}
+	if r := ich / tc; r < 40 || r > 55 {
+		t.Errorf("IChannels/TurboCC ratio %.1f", r)
+	}
+}

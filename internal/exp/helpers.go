@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/model"
+	"ichannels/internal/soc"
+	"ichannels/internal/units"
+)
+
+// newMachine builds a machine or panics-by-error for experiment plumbing.
+func newMachine(p model.Processor, freq units.Hertz, cores int, seed int64) (*soc.Machine, error) {
+	return soc.New(soc.Options{Processor: p, RequestedFreq: freq, Cores: cores, Seed: seed})
+}
+
+// randomBits draws n pseudo-random bits.
+func randomBits(n int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(2)
+	}
+	return out
+}
+
+// oneShot runs a single kernel burst at a fixed start time and captures
+// its Result. It is the workhorse of the characterization experiments.
+type oneShot struct {
+	label string
+	start units.Time
+	k     isa.Kernel
+	iters int64
+	res   *soc.Result
+}
+
+func (o *oneShot) Name() string { return o.label }
+
+func (o *oneShot) Next(env *soc.Env, prev *soc.Result) soc.Action {
+	switch {
+	case prev == nil:
+		return soc.SpinUntil(o.start)
+	case prev.Action.Kind == soc.ActSpinUntil:
+		return soc.Exec(o.k, o.iters)
+	default:
+		o.res = prev
+		return soc.Stop()
+	}
+}
+
+// burstSequence runs a list of kernel bursts back-to-back starting at a
+// fixed time, capturing every Result.
+type burstSequence struct {
+	label  string
+	start  units.Time
+	bursts []soc.Action
+	idx    int
+	res    []*soc.Result
+}
+
+func (b *burstSequence) Name() string { return b.label }
+
+func (b *burstSequence) Next(env *soc.Env, prev *soc.Result) soc.Action {
+	if prev == nil {
+		return soc.SpinUntil(b.start)
+	}
+	if prev.Action.Kind == soc.ActExec {
+		b.res = append(b.res, prev)
+	}
+	if b.idx >= len(b.bursts) {
+		return soc.Stop()
+	}
+	a := b.bursts[b.idx]
+	b.idx++
+	return a
+}
+
+// measureTP runs one PHI burst on core 0 and returns the core's throttling
+// period. Used by the Fig. 8(a)/10(a) sweeps. The machine must be idle.
+func measureTP(m *soc.Machine, cls isa.Class, iters int64) (units.Duration, error) {
+	start := m.Now().Add(5 * units.Microsecond)
+	before := m.Cores[0].ThrottleTime(m.Now())
+	shot := &oneShot{label: "tp-probe", start: start, k: isa.KernelFor(cls), iters: iters}
+	if _, err := m.Bind(0, 0, shot); err != nil {
+		return 0, err
+	}
+	// Run past the burst plus the worst ramp we model (< 200 µs).
+	m.RunFor(400 * units.Microsecond)
+	if shot.res == nil {
+		return 0, fmt.Errorf("exp: TP probe did not finish")
+	}
+	return m.Cores[0].ThrottleTime(m.Now()) - before, nil
+}
+
+// waitReset advances the machine past the license hysteresis plus
+// down-ramp so the next measurement starts from the baseline voltage.
+func waitReset(m *soc.Machine) {
+	m.RunFor(m.Proc.LicenseHysteresis + 100*units.Microsecond)
+}
+
+// us formats a duration in microseconds with 2 decimals.
+func us(d units.Duration) string { return fmt.Sprintf("%.2f", d.Microseconds()) }
+
+// f3 formats a float64 with 3 decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// f1 formats a float64 with 1 decimal.
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f0 formats a float64 with no decimals.
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

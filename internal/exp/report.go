@@ -1,0 +1,169 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§5–§7) on the simulator: each experiment builds the
+// machine(s) it needs, runs the workloads, and returns a Report with the
+// same rows/series the paper plots, plus scalar metrics that the
+// repository's benchmarks and tests assert on.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+func (t *Table) render(b *strings.Builder) {
+	if t.Title != "" {
+		fmt.Fprintf(b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// Report is the structured output of one experiment.
+type Report struct {
+	ID    string
+	Title string
+	// Tables hold the figure/table data in the paper's layout.
+	Tables []*Table
+	// Metrics are scalar results keyed by name (asserted by tests,
+	// reported by benchmarks).
+	Metrics map[string]float64
+	// Notes records caveats and paper-vs-measured commentary.
+	Notes []string
+}
+
+// NewReport creates an empty report.
+func NewReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: map[string]float64{}}
+}
+
+// Metric records a scalar result. Names are normalized to contain no
+// whitespace so they can double as testing.B metric units.
+func (r *Report) Metric(name string, v float64) {
+	r.Metrics[strings.ReplaceAll(name, " ", "_")] = v
+}
+
+// Note appends a commentary line.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Table adds and returns a new table.
+func (r *Report) Table(title string, header ...string) *Table {
+	t := &Table{Title: title, Header: header}
+	r.Tables = append(r.Tables, t)
+	return t
+}
+
+// String renders the report as plain text.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteByte('\n')
+		t.render(&b)
+	}
+	if len(r.Metrics) > 0 {
+		b.WriteString("\nmetrics:\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-42s %.4g\n", k, r.Metrics[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Runner regenerates one experiment. The seed makes noise deterministic.
+type Runner func(seed int64) (*Report, error)
+
+// registryEntry pairs a runner with its description for the CLI.
+type registryEntry struct {
+	ID     string
+	Desc   string
+	Runner Runner
+}
+
+var registry []registryEntry
+
+func register(id, desc string, r Runner) {
+	registry = append(registry, registryEntry{ID: id, Desc: desc, Runner: r})
+}
+
+// Experiments lists the registered experiment IDs in definition order,
+// with descriptions.
+func Experiments() [][2]string {
+	out := make([][2]string, len(registry))
+	for i, e := range registry {
+		out[i] = [2]string{e.ID, e.Desc}
+	}
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, seed int64) (*Report, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Runner(seed)
+		}
+	}
+	return nil, fmt.Errorf("exp: unknown experiment %q (use one of %v)", id, ids())
+}
+
+func ids() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportRendering(t *testing.T) {
+	rep := NewReport("x1", "a title")
+	tab := rep.Table("numbers", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("beta", "22")
+	rep.Metric("some metric", 3.5) // space must normalize
+	rep.Note("caveat %d", 7)
+
+	s := rep.String()
+	for _, want := range []string{"x1", "a title", "numbers", "alpha", "beta", "some_metric", "3.5", "caveat 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, s)
+		}
+	}
+	if _, ok := rep.Metrics["some_metric"]; !ok {
+		t.Error("metric name not normalized")
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	rep := NewReport("x2", "t")
+	tab := rep.Table("", "short", "header")
+	tab.AddRow("muchlongervalue", "x")
+	s := rep.String()
+	lines := strings.Split(s, "\n")
+	// Find the header and the row; the second column must start at the
+	// same offset in both.
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "short") {
+			header = l
+			// separator at i+1, first row at i+2
+			row = lines[i+2]
+		}
+	}
+	if header == "" || row == "" {
+		t.Fatalf("table not rendered:\n%s", s)
+	}
+	if strings.Index(header, "header") != strings.Index(row, "x") {
+		t.Errorf("columns misaligned:\n%q\n%q", header, row)
+	}
+}
+
+func TestServerExtension(t *testing.T) {
+	rep := mustRun(t, "server")
+	for _, ch := range []string{"IccThreadCovert", "IccSMTcovert", "IccCoresCovert"} {
+		if metric(t, rep, "ber_"+ch) != 0 {
+			t.Errorf("%s BER nonzero on the server part", ch)
+		}
+		if metric(t, rep, "gap_"+ch) < 2000 {
+			t.Errorf("%s calibration gap too small on the server part", ch)
+		}
+		if bps := metric(t, rep, "bps_"+ch); bps < 2600 || bps > 3000 {
+			t.Errorf("%s throughput %.0f b/s", ch, bps)
+		}
+	}
+}
+
+func TestExperimentsDeterministicPerSeed(t *testing.T) {
+	// The same seed must reproduce identical metrics (the simulator's
+	// core reproducibility guarantee, end to end).
+	a, err := Run("fig13", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run("fig13", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range a.Metrics {
+		if b.Metrics[k] != v {
+			t.Errorf("metric %s diverged: %g vs %g", k, v, b.Metrics[k])
+		}
+	}
+}

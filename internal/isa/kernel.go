@@ -1,0 +1,120 @@
+package isa
+
+import "fmt"
+
+// Kernel describes an instruction loop: a short body of instructions of a
+// single dominant intensity class, executed for many iterations. This is
+// the unit of work software contexts submit to a simulated core, mirroring
+// the microbenchmark loops (e.g. 300 VMULPD instructions) the paper uses.
+type Kernel struct {
+	// Name identifies the kernel in traces and experiment output.
+	Name string
+
+	// Class is the dominant computational-intensity class of the body.
+	// The core requests a license for this class before running the body
+	// at full rate.
+	Class Class
+
+	// UopsPerIter is the number of micro-operations one loop iteration
+	// feeds from the IDQ to the back-end.
+	UopsPerIter int
+
+	// BaseUPC is the sustained uop throughput (uops per cycle) of the
+	// loop on an unthrottled core running a single thread. Scalar loops
+	// sustain ~2, heavy vector loops ~1 (paper Fig. 4 assumes IPC 2 for
+	// scalar and 1 for PHI loops).
+	BaseUPC float64
+
+	// CdynScale scales the per-class dynamic capacitance for this
+	// specific kernel (1.0 = the class's reference power virus level;
+	// a typical application is below 1).
+	CdynScale float64
+}
+
+// Validate checks the kernel invariants. A zero-value or malformed kernel
+// must never reach the execution engine.
+func (k Kernel) Validate() error {
+	if !k.Class.Valid() {
+		return fmt.Errorf("isa: kernel %q has invalid class %d", k.Name, int(k.Class))
+	}
+	if k.UopsPerIter <= 0 {
+		return fmt.Errorf("isa: kernel %q has non-positive uops/iter %d", k.Name, k.UopsPerIter)
+	}
+	if k.BaseUPC <= 0 || k.BaseUPC > 4 {
+		return fmt.Errorf("isa: kernel %q has base UPC %g outside (0,4]", k.Name, k.BaseUPC)
+	}
+	if k.CdynScale <= 0 {
+		return fmt.Errorf("isa: kernel %q has non-positive Cdyn scale %g", k.Name, k.CdynScale)
+	}
+	return nil
+}
+
+// CyclesPerIter returns the unthrottled single-thread cycles one iteration
+// takes.
+func (k Kernel) CyclesPerIter() float64 { return float64(k.UopsPerIter) / k.BaseUPC }
+
+func (k Kernel) String() string {
+	return fmt.Sprintf("%s(%s,%duops)", k.Name, k.Class, k.UopsPerIter)
+}
+
+// LoopKernel builds a canonical microbenchmark loop for a class: a body of
+// `body` instructions of the class plus loop overhead, with the class's
+// reference throughput. It mirrors the Agner-Fog-style measurement loops
+// from the paper (§5.1).
+func LoopKernel(c Class, body int) Kernel {
+	if body <= 0 {
+		body = 100
+	}
+	upc := 2.0 // scalar loops sustain ~2 uops/cycle
+	if c.PHI() {
+		upc = 1.0 // heavy vector loops sustain ~1 uop/cycle
+	}
+	return Kernel{
+		Name:        fmt.Sprintf("loop_%s", c),
+		Class:       c,
+		UopsPerIter: body,
+		BaseUPC:     upc,
+		CdynScale:   1.0,
+	}
+}
+
+// Reference kernels matching the pseudo-code in the paper's Fig. 3. Each is
+// a loop of a few hundred instructions of the named class.
+var (
+	// Loop64b is the scalar receiver loop used by IccSMTcovert.
+	Loop64b = LoopKernel(Scalar64, 200)
+	// Loop128Light is a 128-bit light vector loop (e.g. VPOR xmm).
+	Loop128Light = LoopKernel(Vec128Light, 200)
+	// Loop128Heavy is the cross-core receiver loop (e.g. MULPD xmm).
+	Loop128Heavy = LoopKernel(Vec128Heavy, 200)
+	// Loop256Light is a 256-bit light loop (e.g. VORPD ymm).
+	Loop256Light = LoopKernel(Vec256Light, 200)
+	// Loop256Heavy is an AVX2 FP/multiply loop (e.g. VMULPD ymm).
+	Loop256Heavy = LoopKernel(Vec256Heavy, 200)
+	// Loop512Light is a 512-bit light loop (e.g. VPORQ zmm).
+	Loop512Light = LoopKernel(Vec512Light, 200)
+	// Loop512Heavy is the same-thread receiver loop (e.g. VMULPD zmm).
+	Loop512Heavy = LoopKernel(Vec512Heavy, 200)
+)
+
+// KernelFor returns the canonical loop kernel for a class.
+func KernelFor(c Class) Kernel {
+	switch c {
+	case Scalar64:
+		return Loop64b
+	case Vec128Light:
+		return Loop128Light
+	case Vec128Heavy:
+		return Loop128Heavy
+	case Vec256Light:
+		return Loop256Light
+	case Vec256Heavy:
+		return Loop256Heavy
+	case Vec512Light:
+		return Loop512Light
+	case Vec512Heavy:
+		return Loop512Heavy
+	default:
+		panic(fmt.Sprintf("isa: no canonical kernel for class %d", int(c)))
+	}
+}

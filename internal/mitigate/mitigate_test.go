@@ -1,0 +1,112 @@
+package mitigate
+
+import (
+	"testing"
+
+	"ichannels/internal/core"
+	"ichannels/internal/model"
+)
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		None: "None", PerCoreVR: "Per-core VR",
+		ImprovedThrottling: "Improved Throttling", SecureMode: "Secure-Mode",
+	}
+	for k, n := range names {
+		if k.String() != n {
+			t.Errorf("%d → %q", int(k), k.String())
+		}
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind must still format")
+	}
+}
+
+func TestOverheadsMatchTable1(t *testing.T) {
+	if PerCoreVR.Overhead() != "11%-13% more area" {
+		t.Error("per-core VR overhead")
+	}
+	if SecureMode.Overhead() != "4%-11% additional power" {
+		t.Error("secure-mode overhead")
+	}
+	if ImprovedThrottling.Overhead() != "Some design effort" {
+		t.Error("improved throttling overhead")
+	}
+}
+
+func TestMachineOptionsApplyMitigations(t *testing.T) {
+	p := model.CannonLake8121U()
+	if !MachineOptions(PerCoreVR, p, 1).PerCoreVR {
+		t.Error("per-core VR not applied")
+	}
+	if MachineOptions(PerCoreVR, p, 1).VROverride == nil {
+		t.Error("per-core VR must swap in an LDO")
+	}
+	if !MachineOptions(ImprovedThrottling, p, 1).PerThreadThrottle {
+		t.Error("improved throttling not applied")
+	}
+	if !MachineOptions(SecureMode, p, 1).SecureMode {
+		t.Error("secure mode not applied")
+	}
+	base := MachineOptions(None, p, 1)
+	if base.PerCoreVR || base.PerThreadThrottle || base.SecureMode {
+		t.Error("baseline must not carry mitigations")
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	p := model.CannonLake8121U()
+	if _, err := Evaluate(None, core.SameThread, p, 0, 1); err == nil {
+		t.Fatal("zero bits accepted")
+	}
+	if _, err := Evaluate(None, core.SameThread, p, 3, 1); err == nil {
+		t.Fatal("odd bits accepted")
+	}
+}
+
+// TestTable1Matrix verifies the paper's Table 1 verdicts hold on the
+// attacked machines (the repository's central security claim).
+func TestTable1Matrix(t *testing.T) {
+	p := model.CannonLake8121U()
+	assessments, err := EvaluateAll(p, 96, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]string]Verdict{}
+	for _, a := range assessments {
+		got[[2]string{a.Mitigation.String(), a.Channel.String()}] = a.Verdict
+	}
+	want := map[[2]string]Verdict{
+		{"None", "IccThreadCovert"}:                Unaffected,
+		{"None", "IccSMTcovert"}:                   Unaffected,
+		{"None", "IccCoresCovert"}:                 Unaffected,
+		{"Per-core VR", "IccThreadCovert"}:         Partial,
+		{"Per-core VR", "IccSMTcovert"}:            Partial,
+		{"Per-core VR", "IccCoresCovert"}:          Mitigated,
+		{"Improved Throttling", "IccThreadCovert"}: Unaffected,
+		{"Improved Throttling", "IccSMTcovert"}:    Mitigated,
+		{"Improved Throttling", "IccCoresCovert"}:  Unaffected,
+		{"Secure-Mode", "IccThreadCovert"}:         Mitigated,
+		{"Secure-Mode", "IccSMTcovert"}:            Mitigated,
+		{"Secure-Mode", "IccCoresCovert"}:          Mitigated,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%v × %v: verdict %v, want %v", k[0], k[1], got[k], v)
+		}
+	}
+}
+
+func TestSMTSkippedOnNonSMTPart(t *testing.T) {
+	p := model.CoffeeLake9700K()
+	p.Cores = 2 // keep the matrix small
+	assessments, err := EvaluateAll(p, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range assessments {
+		if a.Channel == core.SMT {
+			t.Fatal("SMT channel evaluated on a part without SMT")
+		}
+	}
+}

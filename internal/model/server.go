@@ -1,0 +1,57 @@
+package model
+
+import (
+	"ichannels/internal/isa"
+	"ichannels/internal/pdn"
+	"ichannels/internal/pmu"
+	"ichannels/internal/power"
+	"ichannels/internal/units"
+)
+
+// XeonPlatinum8160 models a Skylake-SP server part (24C/48T, AVX-512),
+// extending the reproduction to the paper's §6.4 claim that Intel *server*
+// processors share the client cores' current-management behaviour ("Intel
+// CPU core design is a single development project... a master superset
+// core"). The guardband/throttle machinery mirrors the client parts;
+// electrical capacity is server-class (shared VR per chip with a much
+// higher Iccmax). Calibration here is extrapolated, not measured — the
+// paper publishes no server figures — so experiments on this profile are
+// labelled as extensions.
+func XeonPlatinum8160() Processor {
+	vr := pdn.DefaultConfig(pdn.MBVR)
+	vr.SlewUp = units.Volt(1100)
+	return Processor{
+		Name:     "Xeon Platinum 8160",
+		CodeName: "Skylake-SP",
+		Cores:    24,
+		SMTWays:  2,
+		BaseFreq: 2.1 * units.GHz,
+		MaxTurbo: 3.7 * units.GHz,
+		TSCFreq:  2.1 * units.GHz,
+		VR:       vr,
+		RLL:      units.MilliOhm(0.9), // many-phase server VR: lower load-line
+		Guardband: pmu.GuardbandTable{
+			PerClassPerGHz: mv([isa.NumClasses]float64{0, 0.8, 2.6, 4.4, 6.3, 7.8, 10.0}),
+			// Many cores: later contributors taper off.
+			CoreWeights: []float64{1.0, 0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.7},
+		},
+		VF:      power.VFCurve{V0: 0.58, K1: 0.05, K2: 0.03},
+		Limits:  power.Limits{IccMax: 255, VccMax: 1.23, TjMax: 96},
+		Cdyn:    power.CdynModel{PerClass: nf([isa.NumClasses]float64{1.8, 2.2, 2.9, 3.8, 5.0, 6.1, 7.5}), Idle: 0.35e-9},
+		Leakage: power.LeakageModel{IRef: 20, VRef: 0.95, TempCoeff: 0.008, TRef: 55},
+		Thermal: ThermalSpec{Ambient: 38, RPkg: 0.12, TauPkg: 3 * units.Second, RDie: 0.05, TauDie: 25 * units.Millisecond},
+		AVX256Gate: uarchGate{
+			Present: true, WakeLatency: 11 * units.Nanosecond, IdleTimeout: 5 * units.Microsecond,
+		},
+		AVX512Gate: uarchGate{
+			Present: true, WakeLatency: 13 * units.Nanosecond, IdleTimeout: 5 * units.Microsecond,
+		},
+		LicenseHysteresis: 650 * units.Microsecond,
+		FreqRestoreDelay:  15 * units.Millisecond,
+		PLLRelock:         7 * units.Microsecond,
+		FreqStep:          100 * units.MHz,
+		ThrottleFactor:    0.25,
+		DeliverWidth:      4,
+		HasAVX512:         true,
+	}
+}

@@ -1,0 +1,51 @@
+package pdn
+
+import (
+	"fmt"
+
+	"ichannels/internal/units"
+)
+
+// LoadLine models the adaptive-voltage-positioning relationship between the
+// regulator output and the voltage at the cores (paper §2, Fig. 2):
+//
+//	Vccload = Vcc − R_LL · Icc
+//
+// R_LL is typically 1.6–2.4 mΩ for recent client processors.
+type LoadLine struct {
+	R units.Ohm
+}
+
+// NewLoadLine creates a load-line with resistance r.
+func NewLoadLine(r units.Ohm) (LoadLine, error) {
+	if r < 0 {
+		return LoadLine{}, fmt.Errorf("pdn: negative load-line resistance %g", float64(r))
+	}
+	return LoadLine{R: r}, nil
+}
+
+// LoadVoltage returns the voltage at the load given regulator output vcc
+// and load current icc.
+func (l LoadLine) LoadVoltage(vcc units.Volt, icc units.Ampere) units.Volt {
+	return vcc - units.Volt(float64(l.R)*float64(icc))
+}
+
+// RequiredVcc returns the minimum regulator output that keeps the load
+// voltage at or above vmin while drawing icc.
+func (l LoadLine) RequiredVcc(vmin units.Volt, icc units.Ampere) units.Volt {
+	return vmin + units.Volt(float64(l.R)*float64(icc))
+}
+
+// Droop returns the voltage drop across the load-line at current icc.
+func (l LoadLine) Droop(icc units.Ampere) units.Volt {
+	return units.Volt(float64(l.R) * float64(icc))
+}
+
+// GuardbandFor computes the extra voltage guardband ΔV needed when the
+// dynamic capacitance rises by dCdyn (farads) at supply voltage vcc and
+// frequency f, per the paper's Equation 1:
+//
+//	ΔV ≈ (Cdyn2 − Cdyn1) · Vcc1 · F · R_LL
+func (l LoadLine) GuardbandFor(dCdyn float64, vcc units.Volt, f units.Hertz) units.Volt {
+	return units.Volt(dCdyn * float64(vcc) * float64(f) * float64(l.R))
+}

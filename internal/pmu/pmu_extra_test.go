@@ -1,0 +1,172 @@
+package pmu
+
+import (
+	"testing"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/units"
+)
+
+// Additional PMU behaviours: secure-mode exit, multi-core decay ordering,
+// voltage-level bookkeeping across mixed licenses, and re-request flows.
+
+func TestSecureModeExitRestoresNormalOperation(t *testing.T) {
+	p, q, cores := newTestPMU(t, testConfig(), 1)
+	p.SetSecure(true)
+	q.RunUntil(units.Time(200 * units.Microsecond))
+	p.SetSecure(false)
+	q.RunUntil(units.Time(400 * units.Microsecond))
+	// After leaving secure mode with no licenses, voltage returns to the
+	// baseline and requests ramp again.
+	base := testConfig().VF.Voltage(p.Frequency())
+	if v := p.Voltage(0, q.Now()); v != base {
+		t.Fatalf("voltage %v after secure exit, want baseline %v", v, base)
+	}
+	cores[0].busy = true
+	cores[0].active = isa.Vec256Heavy
+	before := q.Now()
+	p.RequestLicense(0, isa.Vec256Heavy)
+	q.RunUntil(before.Add(100 * units.Microsecond))
+	if len(cores[0].granted) != 1 {
+		t.Fatal("post-secure request not granted")
+	}
+	if cores[0].grantTimes[0] == before {
+		t.Fatal("post-secure grant must pay the ramp again")
+	}
+}
+
+func TestSecureModeIdempotent(t *testing.T) {
+	p, q, _ := newTestPMU(t, testConfig(), 1)
+	p.SetSecure(true)
+	trans := p.Stats().Transitions
+	p.SetSecure(true) // no-op
+	if p.Stats().Transitions != trans {
+		t.Fatal("re-enabling secure mode queued another transition")
+	}
+	q.RunUntil(units.Time(300 * units.Microsecond))
+}
+
+func TestMixedLicensesVoltageLevel(t *testing.T) {
+	cfg := testConfig()
+	p, q, cores := newTestPMU(t, cfg, 2)
+	cores[0].busy, cores[1].busy = true, true
+	cores[0].active, cores[1].active = isa.Vec512Heavy, isa.Vec128Heavy
+	p.RequestLicense(0, isa.Vec512Heavy)
+	p.RequestLicense(1, isa.Vec128Heavy)
+	q.RunUntil(units.Time(300 * units.Microsecond))
+	want := cfg.VF.Voltage(p.Frequency()) +
+		cfg.Guardband.Sum([]isa.Class{isa.Vec512Heavy, isa.Vec128Heavy}, p.Frequency())
+	got := p.Voltage(0, q.Now())
+	if d := float64(got - want); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("settled voltage %v, want %v", got, want)
+	}
+}
+
+func TestPartialDecaySteps(t *testing.T) {
+	// A core that used 512H once but keeps using 128H decays to 128H
+	// (not to scalar) when the 512H window expires.
+	p, q, cores := newTestPMU(t, testConfig(), 1)
+	cores[0].busy = true
+	cores[0].active = isa.Vec512Heavy
+	p.RequestLicense(0, isa.Vec512Heavy)
+	q.RunUntil(units.Time(60 * units.Microsecond))
+	// Switch to sustained 128H use: refresh its window regularly.
+	cores[0].active = isa.Vec128Heavy
+	for i := 0; i < 10; i++ {
+		p.TouchLicense(0, isa.Vec128Heavy)
+		q.RunUntil(q.Now().Add(100 * units.Microsecond))
+	}
+	if len(cores[0].downgrades) == 0 {
+		t.Fatal("512H license must have decayed")
+	}
+	if got := cores[0].downgrades[0]; got != isa.Vec128Heavy {
+		t.Fatalf("decayed to %v, want 128b_Heavy (still in use)", got)
+	}
+}
+
+func TestRepeatRequestAfterDecayRampsAgain(t *testing.T) {
+	p, q, cores := newTestPMU(t, testConfig(), 1)
+	cores[0].busy = true
+	cores[0].active = isa.Vec256Heavy
+	p.RequestLicense(0, isa.Vec256Heavy)
+	q.RunUntil(units.Time(60 * units.Microsecond))
+	tp1 := cores[0].grantTimes[0].Microseconds()
+	// Let it decay fully.
+	cores[0].busy = false
+	cores[0].active = isa.Scalar64
+	q.RunUntil(units.Time(900 * units.Microsecond))
+	// Request again: same ramp length from baseline.
+	cores[0].busy = true
+	cores[0].active = isa.Vec256Heavy
+	start := q.Now()
+	p.RequestLicense(0, isa.Vec256Heavy)
+	q.RunUntil(start.Add(100 * units.Microsecond))
+	if len(cores[0].granted) != 2 {
+		t.Fatalf("grants = %d", len(cores[0].granted))
+	}
+	tp2 := (cores[0].grantTimes[1] - start).Microseconds()
+	if diff := tp2 - tp1; diff > 0.5 || diff < -0.5 {
+		t.Fatalf("second ramp %g µs differs from first %g µs", tp2, tp1)
+	}
+}
+
+func TestLowerRequestWhileHigherHeld(t *testing.T) {
+	// Requesting 128H while already holding 512H must grant instantly
+	// with no transition (voltage already sufficient).
+	p, q, cores := newTestPMU(t, testConfig(), 1)
+	cores[0].busy = true
+	cores[0].active = isa.Vec512Heavy
+	p.RequestLicense(0, isa.Vec512Heavy)
+	q.RunUntil(units.Time(80 * units.Microsecond))
+	v := p.Voltage(0, q.Now())
+	p.RequestLicense(0, isa.Vec128Heavy)
+	q.RunUntil(q.Now().Add(30 * units.Microsecond))
+	if p.Voltage(0, q.Now()) != v {
+		t.Fatal("lower-class request must not move the voltage")
+	}
+	if p.Licenses()[0] != isa.Vec512Heavy {
+		t.Fatal("license must stay at the higher class")
+	}
+}
+
+func TestVccmaxBindsBeforeIccmax(t *testing.T) {
+	// With a tight Vccmax the grant path must downshift even when the
+	// current budget is fine.
+	cfg := testConfig()
+	cfg.Limits = cfg.Limits // copy
+	cfg.Limits.VccMax = cfg.VF.Voltage(2.2*units.GHz) + units.MV(20)
+	cfg.Limits.IccMax = 1000
+	p, q, cores := newTestPMU(t, cfg, 1)
+	cores[0].busy = true
+	cores[0].active = isa.Vec512Heavy
+	p.RequestLicense(0, isa.Vec512Heavy) // needs 13.5×2.2 ≈ 29.7 mV > 20 mV headroom
+	q.RunUntil(units.Time(300 * units.Microsecond))
+	if p.Frequency() >= 2.2*units.GHz {
+		t.Fatalf("Vccmax protection did not downshift: %v", p.Frequency())
+	}
+	if len(cores[0].granted) != 1 {
+		t.Fatal("grant must still land after the downshift")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	p, q, cores := newTestPMU(t, testConfig(), 2)
+	cores[0].busy, cores[1].busy = true, true
+	cores[0].active, cores[1].active = isa.Vec256Heavy, isa.Vec256Heavy
+	p.RequestLicense(0, isa.Vec256Heavy)
+	p.RequestLicense(1, isa.Vec256Heavy)
+	q.RunUntil(units.Time(300 * units.Microsecond))
+	st := p.Stats()
+	if st.Grants != 2 {
+		t.Fatalf("grants = %d", st.Grants)
+	}
+	if st.Transitions < 2 {
+		t.Fatalf("transitions = %d", st.Transitions)
+	}
+	cores[0].busy, cores[1].busy = false, false
+	cores[0].active, cores[1].active = isa.Scalar64, isa.Scalar64
+	q.RunUntil(units.Time(2 * units.Millisecond))
+	if p.Stats().Downgrades != 2 {
+		t.Fatalf("downgrades = %d", p.Stats().Downgrades)
+	}
+}

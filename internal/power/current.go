@@ -1,0 +1,107 @@
+package power
+
+import (
+	"fmt"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/units"
+)
+
+// CdynModel gives the per-core dynamic capacitance exercised by a
+// power-virus of each instruction-intensity class, in farads. The dynamic
+// current of a core then follows Icc_dyn = Cdyn · Vcc · F (paper §2,
+// Equation 1 context), and the class ordering must be strictly monotone:
+// higher intensity → higher Cdyn.
+type CdynModel struct {
+	// PerClass is the power-virus Cdyn of one core running each class,
+	// in farads (order matches isa.Class).
+	PerClass [isa.NumClasses]float64
+	// Idle is the residual Cdyn of an active but idle core (clock
+	// running, no instructions retiring).
+	Idle float64
+}
+
+// Validate checks strict monotonicity and positivity.
+func (m CdynModel) Validate() error {
+	if m.Idle < 0 {
+		return fmt.Errorf("power: negative idle Cdyn %g", m.Idle)
+	}
+	prev := 0.0
+	for c, v := range m.PerClass {
+		if v <= prev {
+			return fmt.Errorf("power: Cdyn must be strictly increasing by class; class %s (%g F) <= previous (%g F)",
+				isa.Class(c), v, prev)
+		}
+		prev = v
+	}
+	return nil
+}
+
+// Cdyn returns the dynamic capacitance for a core running class c at
+// activity scale (1.0 = power virus of that class).
+func (m CdynModel) Cdyn(c isa.Class, scale float64) float64 {
+	if !c.Valid() {
+		panic(fmt.Sprintf("power: invalid class %d", int(c)))
+	}
+	if scale < 0 {
+		scale = 0
+	}
+	return m.Idle + (m.PerClass[c]-m.Idle)*scale
+}
+
+// DynamicCurrent returns the dynamic current of a load with total dynamic
+// capacitance cdyn at voltage v and frequency f.
+func DynamicCurrent(cdyn float64, v units.Volt, f units.Hertz) units.Ampere {
+	return units.Ampere(cdyn * float64(v) * float64(f))
+}
+
+// LeakageModel gives the leakage current of the core power plane as a
+// function of voltage and junction temperature. Leakage rises roughly
+// linearly with voltage and exponentially (weakly, in our range) with
+// temperature; a linearized temperature coefficient suffices for the
+// paper's experiments, which never approach thermal limits.
+type LeakageModel struct {
+	// IRef is the leakage at VRef and TRef, in amperes (whole package).
+	IRef units.Ampere
+	// VRef, TRef are the reference point.
+	VRef units.Volt
+	// TempCoeff is the fractional leakage increase per °C above TRef.
+	TempCoeff float64
+	TRef      units.Celsius
+}
+
+// Current returns the leakage current at voltage v and temperature t.
+func (l LeakageModel) Current(v units.Volt, t units.Celsius) units.Ampere {
+	if l.IRef == 0 {
+		return 0
+	}
+	vs := 1.0
+	if l.VRef > 0 {
+		vs = float64(v) / float64(l.VRef)
+		if vs < 0 {
+			vs = 0
+		}
+	}
+	ts := 1.0 + l.TempCoeff*float64(t-l.TRef)
+	if ts < 0.1 {
+		ts = 0.1
+	}
+	return units.Ampere(float64(l.IRef) * vs * ts)
+}
+
+// Limits are the electrical design limits of the package (paper §2):
+// exceeding Iccmax can damage the VR; Vccmax is the maximum operational
+// voltage; Tjmax the maximum junction temperature.
+type Limits struct {
+	IccMax units.Ampere
+	VccMax units.Volt
+	TjMax  units.Celsius
+}
+
+// Validate checks the limits are positive.
+func (l Limits) Validate() error {
+	if l.IccMax <= 0 || l.VccMax <= 0 || l.TjMax <= 0 {
+		return fmt.Errorf("power: limits must be positive (got %+v)", l)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/units"
+)
+
+func testCurve() VFCurve { return VFCurve{V0: 0.55, K1: 0.03, K2: 0.04} }
+
+func TestVFCurveValidate(t *testing.T) {
+	if err := testCurve().Validate(); err != nil {
+		t.Fatalf("valid curve rejected: %v", err)
+	}
+	for _, bad := range []VFCurve{
+		{V0: 0, K1: 0.03, K2: 0.04},
+		{V0: 0.5, K1: -1, K2: 0},
+		{V0: 0.5, K1: 0, K2: 0},
+	} {
+		if bad.Validate() == nil {
+			t.Errorf("curve %+v should fail", bad)
+		}
+	}
+}
+
+func TestVFCurveVoltageMonotone(t *testing.T) {
+	c := testCurve()
+	prev := units.Volt(0)
+	for f := 0.5; f <= 5; f += 0.1 {
+		v := c.Voltage(units.Hertz(f) * units.GHz)
+		if v <= prev {
+			t.Fatalf("V(F) not increasing at %g GHz", f)
+		}
+		prev = v
+	}
+}
+
+// Property: MaxFrequencyFor returns the largest stepped frequency whose
+// voltage (plus guardband) fits under vmax.
+func TestPropertyMaxFrequencyFor(t *testing.T) {
+	c := testCurve()
+	step := 100 * units.MHz
+	f := func(vmaxMilli uint16, gbMilli uint8) bool {
+		vmax := units.Volt(0.6 + float64(vmaxMilli%900)/1000)
+		gb := units.Volt(float64(gbMilli%50) / 1000)
+		fmax := c.MaxFrequencyFor(vmax, gb, step)
+		if fmax == 0 {
+			// Even the smallest step must not fit.
+			return c.Voltage(step)+gb > vmax
+		}
+		ok := c.Voltage(fmax)+gb <= vmax+1e-12
+		next := fmax + step
+		return ok && c.Voltage(next)+gb > vmax-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxFrequencyForLinearCurve(t *testing.T) {
+	c := VFCurve{V0: 0.5, K1: 0.1, K2: 0}
+	// budget 0.3 V → 3 GHz exactly.
+	got := c.MaxFrequencyFor(0.8, 0, 100*units.MHz)
+	if got != 3*units.GHz {
+		t.Fatalf("got %v", got)
+	}
+	if c.MaxFrequencyFor(0.4, 0, 100*units.MHz) != 0 {
+		t.Fatal("impossible budget must return 0")
+	}
+}
+
+func testCdyn() CdynModel {
+	var m CdynModel
+	for i := range m.PerClass {
+		m.PerClass[i] = float64(i+1) * 1e-9
+	}
+	m.Idle = 0.2e-9
+	return m
+}
+
+func TestCdynValidate(t *testing.T) {
+	if err := testCdyn().Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := testCdyn()
+	bad.PerClass[3] = bad.PerClass[2] // not strictly increasing
+	if bad.Validate() == nil {
+		t.Fatal("non-monotone Cdyn accepted")
+	}
+	bad2 := testCdyn()
+	bad2.Idle = -1
+	if bad2.Validate() == nil {
+		t.Fatal("negative idle accepted")
+	}
+}
+
+func TestCdynScaling(t *testing.T) {
+	m := testCdyn()
+	full := m.Cdyn(isa.Vec256Heavy, 1)
+	if full != m.PerClass[isa.Vec256Heavy] {
+		t.Fatalf("virus scale: %g", full)
+	}
+	half := m.Cdyn(isa.Vec256Heavy, 0.5)
+	want := m.Idle + (m.PerClass[isa.Vec256Heavy]-m.Idle)*0.5
+	if math.Abs(half-want) > 1e-18 {
+		t.Fatalf("half scale: %g want %g", half, want)
+	}
+	if m.Cdyn(isa.Scalar64, -3) != m.Idle {
+		t.Fatal("negative scale must clamp to idle")
+	}
+}
+
+func TestCdynInvalidClassPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	testCdyn().Cdyn(isa.Class(99), 1)
+}
+
+func TestDynamicCurrent(t *testing.T) {
+	// 5 nF × 1 V × 2 GHz = 10 A.
+	got := DynamicCurrent(5e-9, 1.0, 2*units.GHz)
+	if math.Abs(float64(got)-10) > 1e-9 {
+		t.Fatalf("Icc = %v", got)
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	l := LeakageModel{IRef: 2, VRef: 0.8, TempCoeff: 0.01, TRef: 50}
+	at := l.Current(0.8, 50)
+	if math.Abs(float64(at)-2) > 1e-12 {
+		t.Fatalf("reference leakage = %v", at)
+	}
+	hotter := l.Current(0.8, 60)
+	if hotter <= at {
+		t.Fatal("leakage must rise with temperature")
+	}
+	higherV := l.Current(1.0, 50)
+	if higherV <= at {
+		t.Fatal("leakage must rise with voltage")
+	}
+	var zero LeakageModel
+	if zero.Current(1, 100) != 0 {
+		t.Fatal("zero model must leak nothing")
+	}
+}
+
+func TestLimitsValidate(t *testing.T) {
+	if (Limits{IccMax: 29, VccMax: 1.15, TjMax: 100}).Validate() != nil {
+		t.Fatal("valid limits rejected")
+	}
+	if (Limits{IccMax: 0, VccMax: 1, TjMax: 100}).Validate() == nil {
+		t.Fatal("zero Iccmax accepted")
+	}
+}
+
+func TestThermalConvergence(t *testing.T) {
+	th, err := NewThermal(40, 0.5, units.Second, 0.2, 20*units.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steady state at 20 W: 40 + 20×0.7 = 54 °C.
+	want := th.SteadyState(20)
+	if math.Abs(float64(want)-54) > 1e-9 {
+		t.Fatalf("steady = %v", want)
+	}
+	// After 10 package time constants we must be within 0.1 °C.
+	var tm units.Time
+	for i := 0; i < 100; i++ {
+		tm = tm.Add(100 * units.Millisecond)
+		th.Advance(tm, 20)
+	}
+	if math.Abs(float64(th.Temperature()-want)) > 0.1 {
+		t.Fatalf("converged to %v, want %v", th.Temperature(), want)
+	}
+}
+
+func TestThermalFastStageLeadsSlowStage(t *testing.T) {
+	th, _ := NewThermal(40, 0.5, 2*units.Second, 0.3, 15*units.Millisecond)
+	// 5 ms of 30 W: the die stage responds, the package barely moves.
+	th.Advance(units.Time(5*units.Millisecond), 30)
+	rise := float64(th.Temperature() - 40)
+	// Die stage alone would contribute 30×0.3×(1−e^(−1/3)) ≈ 2.55 °C.
+	if rise < 1.5 || rise > 4 {
+		t.Fatalf("5 ms rise = %g °C, want ≈2.5 (fast die stage)", rise)
+	}
+}
+
+func TestThermalNeverRunsBackwards(t *testing.T) {
+	th, _ := NewThermal(40, 0.5, units.Second, 0, 0)
+	th.Advance(units.Time(units.Second), 50)
+	before := th.Temperature()
+	th.Advance(units.Time(500*units.Millisecond), 0) // in the past
+	if th.Temperature() != before {
+		t.Fatal("backwards Advance changed state")
+	}
+}
+
+func TestThermalValidation(t *testing.T) {
+	if _, err := NewThermal(40, 0, units.Second, 0, 0); err == nil {
+		t.Fatal("zero Rth accepted")
+	}
+	if _, err := NewThermal(40, 0.5, 0, 0, 0); err == nil {
+		t.Fatal("zero tau accepted")
+	}
+	if _, err := NewThermal(40, 0.5, units.Second, -1, units.Second); err == nil {
+		t.Fatal("negative die Rth accepted")
+	}
+	if _, err := NewThermal(40, 0.5, units.Second, 0.1, 0); err == nil {
+		t.Fatal("die stage without tau accepted")
+	}
+}
+
+// Property: the thermal model never overshoots its steady state from
+// below, and cooling never undershoots ambient.
+func TestPropertyThermalBounded(t *testing.T) {
+	f := func(powerRaw uint8, steps uint8) bool {
+		th, _ := NewThermal(40, 0.4, 500*units.Millisecond, 0.2, 10*units.Millisecond)
+		p := units.Watt(powerRaw % 60)
+		steady := th.SteadyState(p)
+		var tm units.Time
+		for i := 0; i < int(steps%40)+1; i++ {
+			tm = tm.Add(25 * units.Millisecond)
+			got := th.Advance(tm, p)
+			if got > steady+1e-9 || got < 40-1e-9 {
+				return false
+			}
+		}
+		// Now cool: never below ambient.
+		for i := 0; i < 50; i++ {
+			tm = tm.Add(50 * units.Millisecond)
+			if got := th.Advance(tm, 0); got < 40-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

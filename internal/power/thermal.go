@@ -1,0 +1,81 @@
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"ichannels/internal/units"
+)
+
+// Thermal is a two-stage RC junction-temperature model:
+//
+//	T_junction = T_ambient + s_pkg + s_die
+//	τ_pkg · ds_pkg/dt = P·R_pkg − s_pkg      (heatsink/package, seconds)
+//	τ_die · ds_die/dt = P·R_die − s_die      (die, tens of milliseconds)
+//
+// The slow package stage dominates steady state; the fast die stage gives
+// the millisecond-scale response that thermal covert channels (PowerT)
+// exploit. Both stages remain orders of magnitude slower than the
+// microsecond current-management mechanisms — the paper's §5.3 point that
+// immediate PHI throttling cannot be thermal.
+type Thermal struct {
+	Ambient units.Celsius
+
+	RPkg   float64        // package thermal resistance, °C/W
+	TauPkg units.Duration // package time constant
+
+	RDie   float64        // die-stage thermal resistance, °C/W
+	TauDie units.Duration // die time constant
+
+	sPkg, sDie float64
+	last       units.Time
+}
+
+// NewThermal creates a two-stage thermal model at ambient temperature.
+// A zero rDie disables the fast stage (pure single-RC model).
+func NewThermal(ambient units.Celsius, rPkg float64, tauPkg units.Duration, rDie float64, tauDie units.Duration) (*Thermal, error) {
+	if rPkg <= 0 {
+		return nil, fmt.Errorf("power: package thermal resistance must be positive, got %g", rPkg)
+	}
+	if tauPkg <= 0 {
+		return nil, fmt.Errorf("power: package thermal time constant must be positive, got %v", tauPkg)
+	}
+	if rDie < 0 {
+		return nil, fmt.Errorf("power: negative die thermal resistance %g", rDie)
+	}
+	if rDie > 0 && tauDie <= 0 {
+		return nil, fmt.Errorf("power: die thermal time constant must be positive, got %v", tauDie)
+	}
+	return &Thermal{Ambient: ambient, RPkg: rPkg, TauPkg: tauPkg, RDie: rDie, TauDie: tauDie}, nil
+}
+
+// Temperature returns the junction temperature as of the last Advance.
+func (t *Thermal) Temperature() units.Celsius {
+	return t.Ambient + units.Celsius(t.sPkg+t.sDie)
+}
+
+// Advance integrates the model from the last update to now assuming
+// constant power p over the interval, and returns the new junction
+// temperature. Calls with now before the last update are ignored.
+func (t *Thermal) Advance(now units.Time, p units.Watt) units.Celsius {
+	if now > t.last {
+		dt := now.Sub(t.last).Seconds()
+		t.last = now
+		t.sPkg = settle(t.sPkg, float64(p)*t.RPkg, dt, t.TauPkg.Seconds())
+		if t.RDie > 0 {
+			t.sDie = settle(t.sDie, float64(p)*t.RDie, dt, t.TauDie.Seconds())
+		}
+	}
+	return t.Temperature()
+}
+
+// settle is the exact solution of one first-order stage over dt.
+func settle(state, target, dt, tau float64) float64 {
+	return target + (state-target)*math.Exp(-dt/tau)
+}
+
+// SteadyState returns the temperature the junction settles at under
+// constant power p.
+func (t *Thermal) SteadyState(p units.Watt) units.Celsius {
+	return t.Ambient + units.Celsius(float64(p)*(t.RPkg+t.RDie))
+}

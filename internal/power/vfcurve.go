@@ -1,0 +1,75 @@
+// Package power models the electrical behaviour of the simulated processor:
+// voltage/frequency curves, per-class dynamic capacitance, supply current,
+// the Iccmax/Vccmax design limits, and a first-order thermal model for the
+// core junction temperature.
+//
+// These models feed the PMU's two protection mechanisms the paper
+// characterizes: voltage-emergency (di/dt) avoidance via guardbands, and
+// maximum current/voltage limit protection via frequency reduction (§2,
+// §5.2, §5.3).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"ichannels/internal/units"
+)
+
+// VFCurve maps core clock frequency to the minimum stable supply voltage
+// (before guardbands): Vcc(F) = V0 + K1·F + K2·F², with F in GHz. The
+// quadratic term models the super-linear voltage demand near Turbo
+// frequencies that makes Vccmax reachable (paper Fig. 7(a)).
+type VFCurve struct {
+	V0 units.Volt // voltage intercept at F→0
+	K1 float64    // V per GHz
+	K2 float64    // V per GHz²
+}
+
+// Validate checks the curve is physically plausible (monotone increasing
+// over positive frequencies).
+func (c VFCurve) Validate() error {
+	if c.V0 <= 0 {
+		return fmt.Errorf("power: VF curve intercept %v must be positive", c.V0)
+	}
+	if c.K1 < 0 || c.K2 < 0 {
+		return fmt.Errorf("power: VF curve slopes must be non-negative (k1=%g k2=%g)", c.K1, c.K2)
+	}
+	if c.K1 == 0 && c.K2 == 0 {
+		return fmt.Errorf("power: VF curve must rise with frequency")
+	}
+	return nil
+}
+
+// Voltage returns the base supply voltage required at frequency f.
+func (c VFCurve) Voltage(f units.Hertz) units.Volt {
+	g := f.GHzF()
+	return c.V0 + units.Volt(c.K1*g+c.K2*g*g)
+}
+
+// MaxFrequencyFor returns the highest frequency (rounded down to step) whose
+// base voltage plus the supplied guardband fits under vmax. It returns 0 if
+// no positive frequency qualifies.
+func (c VFCurve) MaxFrequencyFor(vmax units.Volt, guardband units.Volt, step units.Hertz) units.Hertz {
+	if step <= 0 {
+		step = 100 * units.MHz
+	}
+	budget := float64(vmax - guardband - c.V0)
+	if budget <= 0 {
+		return 0
+	}
+	var g float64
+	if c.K2 == 0 {
+		g = budget / c.K1
+	} else {
+		// Solve K2·g² + K1·g − budget = 0 for the positive root.
+		disc := c.K1*c.K1 + 4*c.K2*budget
+		g = (-c.K1 + math.Sqrt(disc)) / (2 * c.K2)
+	}
+	f := units.Hertz(g * 1e9)
+	steps := math.Floor(float64(f) / float64(step))
+	if steps < 0 {
+		return 0
+	}
+	return units.Hertz(steps) * step
+}

@@ -1,0 +1,154 @@
+// Package sched provides the deterministic discrete-event queue that drives
+// the simulator. Events fire in (time, insertion-sequence) order, so two
+// runs with the same inputs replay identically — a property the covert
+// channel experiments rely on for reproducibility (randomness enters only
+// through explicitly seeded noise models).
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"ichannels/internal/units"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	At   units.Time
+	Name string
+	fn   func(units.Time)
+
+	seq   uint64
+	index int // heap index; -1 once fired or cancelled
+}
+
+// Cancelled reports whether the event has been cancelled or already fired.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+// Queue is a deterministic event queue with a current simulated time.
+// The zero value is not usable; call NewQueue.
+type Queue struct {
+	now    units.Time
+	events eventHeap
+	seq    uint64
+	fired  uint64
+}
+
+// NewQueue creates an empty queue at time zero.
+func NewQueue() *Queue {
+	return &Queue{}
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() units.Time { return q.now }
+
+// Fired returns the number of events executed so far (for diagnostics).
+func (q *Queue) Fired() uint64 { return q.fired }
+
+// Pending returns the number of scheduled, uncancelled events.
+func (q *Queue) Pending() int { return q.events.Len() }
+
+// At schedules fn to run at time t. Scheduling in the past panics: it
+// would silently corrupt causality in the simulation.
+func (q *Queue) At(t units.Time, name string, fn func(units.Time)) *Event {
+	if t < q.now {
+		panic(fmt.Sprintf("sched: event %q scheduled at %v, before now (%v)", name, t, q.now))
+	}
+	if fn == nil {
+		panic(fmt.Sprintf("sched: event %q has nil callback", name))
+	}
+	e := &Event{At: t, Name: name, fn: fn, seq: q.seq}
+	q.seq++
+	heap.Push(&q.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (q *Queue) After(d units.Duration, name string, fn func(units.Time)) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return q.At(q.now.Add(d), name, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling a nil, fired, or already-
+// cancelled event is a no-op, so callers can cancel unconditionally.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index == -1 {
+		return
+	}
+	heap.Remove(&q.events, e.index)
+	e.index = -1
+}
+
+// Step fires the earliest pending event and returns true, or returns false
+// if the queue is empty.
+func (q *Queue) Step() bool {
+	if q.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&q.events).(*Event)
+	e.index = -1
+	q.now = e.At
+	q.fired++
+	e.fn(q.now)
+	return true
+}
+
+// RunUntil fires events in order until the queue is exhausted or the next
+// event is after t, then advances the clock to exactly t.
+func (q *Queue) RunUntil(t units.Time) {
+	if t < q.now {
+		panic(fmt.Sprintf("sched: RunUntil(%v) is before now (%v)", t, q.now))
+	}
+	for q.events.Len() > 0 && q.events[0].At <= t {
+		q.Step()
+	}
+	q.now = t
+}
+
+// Run fires events until the queue is empty or maxEvents have fired.
+// It returns the number of events fired. A maxEvents of 0 means no limit.
+func (q *Queue) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for q.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

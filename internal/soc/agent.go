@@ -1,0 +1,215 @@
+package soc
+
+import (
+	"fmt"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/uarch"
+	"ichannels/internal/units"
+)
+
+// ActionKind enumerates what a software context can ask its hardware
+// thread to do next.
+type ActionKind int
+
+const (
+	// ActStop ends the agent; the hardware thread goes idle for good.
+	ActStop ActionKind = iota
+	// ActExec runs a kernel for a number of iterations.
+	ActExec
+	// ActSpinUntil busy-waits (an rdtsc polling loop) until an absolute
+	// simulated time; this is the wall-clock synchronization primitive
+	// the cross-core channel uses (paper §4.3.3).
+	ActSpinUntil
+	// ActIdleFor parks the thread off-core (e.g. blocked in the OS) for
+	// a duration; it does not occupy pipeline resources.
+	ActIdleFor
+)
+
+func (k ActionKind) String() string {
+	switch k {
+	case ActStop:
+		return "stop"
+	case ActExec:
+		return "exec"
+	case ActSpinUntil:
+		return "spin"
+	case ActIdleFor:
+		return "idle"
+	default:
+		return fmt.Sprintf("ActionKind(%d)", int(k))
+	}
+}
+
+// Action is one unit of behaviour an agent requests.
+type Action struct {
+	Kind   ActionKind
+	Kernel isa.Kernel
+	Iters  int64
+	Until  units.Time
+	Dur    units.Duration
+}
+
+// Exec builds an action running iters iterations of k.
+func Exec(k isa.Kernel, iters int64) Action {
+	return Action{Kind: ActExec, Kernel: k, Iters: iters}
+}
+
+// SpinUntil builds a busy-wait action ending at absolute time t.
+func SpinUntil(t units.Time) Action { return Action{Kind: ActSpinUntil, Until: t} }
+
+// IdleFor builds an off-core idle action of duration d.
+func IdleFor(d units.Duration) Action { return Action{Kind: ActIdleFor, Dur: d} }
+
+// Stop ends the agent.
+func Stop() Action { return Action{Kind: ActStop} }
+
+// Result describes a completed action, with the timing and counter data a
+// real attacker would gather with rdtsc and perf counters.
+type Result struct {
+	Action   Action
+	Start    units.Time
+	End      units.Time
+	StartTSC int64
+	EndTSC   int64
+	// Counters is the per-thread performance-counter delta over the
+	// action (meaningful for ActExec and ActSpinUntil).
+	Counters uarch.Counters
+}
+
+// Elapsed returns the action's wall-clock duration.
+func (r Result) Elapsed() units.Duration { return r.End.Sub(r.Start) }
+
+// ElapsedTSC returns the rdtsc-style cycle count of the action.
+func (r Result) ElapsedTSC() int64 { return r.EndTSC - r.StartTSC }
+
+// Env gives an agent its execution context: identity, the clock it can
+// legitimately read (TSC), and the machine's random source for jitter.
+type Env struct {
+	M      *Machine
+	CoreID int
+	Slot   int
+}
+
+// Now returns the current simulated time (an agent would obtain this by
+// converting rdtsc; both are exposed for convenience).
+func (e *Env) Now() units.Time { return e.M.Now() }
+
+// TSC returns the current timestamp-counter value.
+func (e *Env) TSC() int64 { return e.M.TSC(e.M.Now()) }
+
+// Agent is a reactive software context: each time its previous action
+// completes, Next is asked for the following one. prev is nil on the first
+// call. Agents run entirely inside the deterministic event loop.
+type Agent interface {
+	Name() string
+	Next(env *Env, prev *Result) Action
+}
+
+// SWThread binds an agent to a hardware thread slot.
+type SWThread struct {
+	m       *Machine
+	env     Env
+	agent   Agent
+	stopped bool
+}
+
+// Agent returns the bound agent.
+func (t *SWThread) Agent() Agent { return t.agent }
+
+// Stopped reports whether the agent has returned ActStop.
+func (t *SWThread) Stopped() bool { return t.stopped }
+
+// CoreID returns the core the thread is bound to.
+func (t *SWThread) CoreID() int { return t.env.CoreID }
+
+// Slot returns the hardware thread slot.
+func (t *SWThread) Slot() int { return t.env.Slot }
+
+// Bind attaches an agent to (coreID, slot) and schedules its first step at
+// the current simulated time. Each hardware thread slot can host at most
+// one agent.
+func (m *Machine) Bind(coreID, slot int, a Agent) (*SWThread, error) {
+	if coreID < 0 || coreID >= len(m.Cores) {
+		return nil, fmt.Errorf("soc: no core %d", coreID)
+	}
+	if slot < 0 || slot >= m.Proc.SMTWays {
+		return nil, fmt.Errorf("soc: core %d has no SMT slot %d", coreID, slot)
+	}
+	for _, t := range m.threads {
+		if t.env.CoreID == coreID && t.env.Slot == slot && !t.stopped {
+			return nil, fmt.Errorf("soc: core %d slot %d already bound to %q", coreID, slot, t.agent.Name())
+		}
+	}
+	if a == nil {
+		return nil, fmt.Errorf("soc: nil agent")
+	}
+	t := &SWThread{m: m, agent: a, env: Env{M: m, CoreID: coreID, Slot: slot}}
+	m.threads = append(m.threads, t)
+	m.Q.After(0, "soc.bind."+a.Name(), func(units.Time) { m.step(t, nil) })
+	return t, nil
+}
+
+// step drives one agent transition: deliver the previous result, obtain
+// the next action, and submit it to the core.
+func (m *Machine) step(t *SWThread, prev *Result) {
+	if t.stopped {
+		return
+	}
+	act := t.agent.Next(&t.env, prev)
+	core := m.Cores[t.env.CoreID]
+	now := m.Q.Now()
+	switch act.Kind {
+	case ActStop:
+		t.stopped = true
+
+	case ActExec:
+		startCtr := core.Counters(t.env.Slot, now)
+		startTSC := m.ReadTSC(now)
+		core.Start(t.env.Slot, act.Kernel, act.Iters, func(end units.Time) {
+			res := &Result{
+				Action: act, Start: now, End: end,
+				StartTSC: startTSC, EndTSC: m.ReadTSC(end),
+				Counters: core.Counters(t.env.Slot, end).Sub(startCtr),
+			}
+			m.step(t, res)
+		})
+
+	case ActSpinUntil:
+		startCtr := core.Counters(t.env.Slot, now)
+		startTSC := m.ReadTSC(now)
+		core.Spin(t.env.Slot, act.Until, func(end units.Time) {
+			res := &Result{
+				Action: act, Start: now, End: end,
+				StartTSC: startTSC, EndTSC: m.ReadTSC(end),
+				Counters: core.Counters(t.env.Slot, end).Sub(startCtr),
+			}
+			m.step(t, res)
+		})
+
+	case ActIdleFor:
+		startTSC := m.TSC(now)
+		m.Q.After(act.Dur, "soc.idle."+t.agent.Name(), func(end units.Time) {
+			res := &Result{
+				Action: act, Start: now, End: end,
+				StartTSC: startTSC, EndTSC: m.TSC(end),
+			}
+			m.step(t, res)
+		})
+
+	default:
+		panic(fmt.Sprintf("soc: agent %q returned invalid action kind %v", t.agent.Name(), act.Kind))
+	}
+}
+
+// AgentFunc adapts a function to the Agent interface.
+type AgentFunc struct {
+	AgentName string
+	Fn        func(env *Env, prev *Result) Action
+}
+
+// Name implements Agent.
+func (a AgentFunc) Name() string { return a.AgentName }
+
+// Next implements Agent.
+func (a AgentFunc) Next(env *Env, prev *Result) Action { return a.Fn(env, prev) }

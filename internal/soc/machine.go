@@ -1,0 +1,298 @@
+// Package soc assembles the full simulated system-on-chip: cores, central
+// PMU, power delivery, clocking, the invariant TSC, OS noise, and the
+// software contexts (agents) that run on hardware threads. It is the
+// integration point every experiment and covert channel builds on.
+package soc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/model"
+	"ichannels/internal/pdn"
+	"ichannels/internal/pmu"
+	"ichannels/internal/power"
+	"ichannels/internal/sched"
+	"ichannels/internal/uarch"
+	"ichannels/internal/units"
+)
+
+// Options configures a Machine beyond its processor profile.
+type Options struct {
+	// Processor is the calibrated part to simulate. Required.
+	Processor model.Processor
+
+	// RequestedFreq is the operating point software asks for (a fixed
+	// frequency for the characterization experiments, or the Turbo
+	// maximum). Zero means the processor's base frequency.
+	RequestedFreq units.Hertz
+
+	// Cores limits the number of instantiated cores (0 = all the
+	// profile has). The paper's experiments mostly use one or two.
+	Cores int
+
+	// PerCoreVR enables mitigation 1 (per-core regulators). Combine
+	// with VROverride to model an LDO.
+	PerCoreVR bool
+
+	// VROverride substitutes the regulator parameters (e.g. an LDO for
+	// the mitigation study). Nil keeps the profile's VR.
+	VROverride *pdn.Config
+
+	// PerThreadThrottle enables mitigation 2 (improved core throttling).
+	PerThreadThrottle bool
+
+	// SecureMode enables mitigation 3 from time zero.
+	SecureMode bool
+
+	// Noise configures OS interrupt / context-switch injection.
+	Noise NoiseConfig
+
+	// TSCJitterCycles adds uniform [0, n) cycles of measurement noise to
+	// every rdtsc an agent performs, modelling serialization overhead
+	// and pipeline-state variation of the real instruction. Zero means
+	// ideal reads.
+	TSCJitterCycles int64
+
+	// Seed drives all randomness (noise arrival, jitter). The same seed
+	// replays the same simulation.
+	Seed int64
+}
+
+// Machine is one fully wired simulated system.
+type Machine struct {
+	Q     *sched.Queue
+	Proc  model.Processor
+	Cores []*uarch.Core
+	PMU   *pmu.PMU
+
+	loadLine pdn.LoadLine
+	thermal  *power.Thermal
+	rng      *rand.Rand
+	noise    *noiseInjector
+	threads  []*SWThread
+	opts     Options
+
+	lastPower units.Watt
+}
+
+// New builds and initializes a machine. The returned machine is at
+// simulated time zero with all cores idle and the PMU settled at the
+// requested operating point.
+func New(opts Options) (*Machine, error) {
+	p := opts.Processor
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ncores := opts.Cores
+	if ncores == 0 {
+		ncores = p.Cores
+	}
+	if ncores < 1 || ncores > p.Cores {
+		return nil, fmt.Errorf("soc: core count %d outside [1, %d]", ncores, p.Cores)
+	}
+	req := opts.RequestedFreq
+	if req == 0 {
+		req = p.BaseFreq
+	}
+	if req > p.MaxTurbo {
+		return nil, fmt.Errorf("soc: requested frequency %v above max Turbo %v", req, p.MaxTurbo)
+	}
+
+	q := sched.NewQueue()
+	ll, err := pdn.NewLoadLine(p.RLL)
+	if err != nil {
+		return nil, err
+	}
+	th, err := power.NewThermal(p.Thermal.Ambient, p.Thermal.RPkg, p.Thermal.TauPkg, p.Thermal.RDie, p.Thermal.TauDie)
+	if err != nil {
+		return nil, err
+	}
+
+	vr := p.VR
+	if opts.VROverride != nil {
+		vr = *opts.VROverride
+	}
+	pcfg := pmu.Config{
+		Guardband:          p.Guardband,
+		VF:                 p.VF,
+		Limits:             p.Limits,
+		Cdyn:               p.Cdyn,
+		Leakage:            p.Leakage,
+		LicenseHysteresis:  p.LicenseHysteresis,
+		FreqRestoreDelay:   p.FreqRestoreDelay,
+		FreqStep:           p.FreqStep,
+		PLLRelock:          p.PLLRelock,
+		RequestedFrequency: req,
+		PerCoreVR:          opts.PerCoreVR,
+		VR:                 vr,
+	}
+	unit, err := pmu.New(pcfg, q)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Machine{
+		Q:        q,
+		Proc:     p,
+		PMU:      unit,
+		loadLine: ll,
+		thermal:  th,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		opts:     opts,
+	}
+
+	avx256 := gateConfig(p.AVX256Gate)
+	avx512 := gateConfig(p.AVX512Gate)
+	cores := make([]*uarch.Core, ncores)
+	pmuCores := make([]pmu.Core, ncores)
+	for i := range cores {
+		cc := uarch.Config{
+			ID:                  i,
+			SMTWays:             p.SMTWays,
+			DeliverWidth:        p.DeliverWidth,
+			ThrottleFactor:      p.ThrottleFactor,
+			PerThreadThrottle:   opts.PerThreadThrottle,
+			AVX256Gate:          avx256,
+			AVX512Gate:          avx512,
+			BaselineUndelivered: 0.01,
+		}
+		core, err := uarch.NewCore(cc, q, unit)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = core
+		pmuCores[i] = core
+	}
+	m.Cores = cores
+	if err := unit.AttachCores(pmuCores); err != nil {
+		return nil, err
+	}
+	if err := unit.Initialize(); err != nil {
+		return nil, err
+	}
+	if opts.SecureMode {
+		unit.SetSecure(true)
+		// Let the worst-case guardband ramp settle before time zero
+		// workloads begin; secure mode is an operating mode, not a
+		// transient (paper §7).
+		q.RunUntil(q.Now().Add(200 * units.Microsecond))
+	}
+	m.noise = newNoiseInjector(m, opts.Noise)
+	return m, nil
+}
+
+func gateConfig(g interface {
+	Gate() (bool, units.Duration, units.Duration)
+}) uarch.PowerGateConfig {
+	present, wake, idle := g.Gate()
+	if !present {
+		return uarch.PowerGateConfig{Present: false}
+	}
+	return uarch.PowerGateConfig{Present: true, WakeLatency: wake, IdleTimeout: idle}
+}
+
+// Now returns the current simulated time.
+func (m *Machine) Now() units.Time { return m.Q.Now() }
+
+// TSC returns the invariant timestamp counter value at time t.
+func (m *Machine) TSC(t units.Time) int64 {
+	return int64(t.Seconds() * float64(m.Proc.TSCFreq))
+}
+
+// ReadTSC models an agent actually executing rdtsc at time t: the true
+// counter plus the configured measurement jitter.
+func (m *Machine) ReadTSC(t units.Time) int64 {
+	v := m.TSC(t)
+	if m.opts.TSCJitterCycles > 0 {
+		v += m.rng.Int63n(m.opts.TSCJitterCycles)
+	}
+	return v
+}
+
+// CyclesOf converts a duration to TSC cycles.
+func (m *Machine) CyclesOf(d units.Duration) int64 {
+	return int64(d.Seconds() * float64(m.Proc.TSCFreq))
+}
+
+// RunFor advances the simulation by d.
+func (m *Machine) RunFor(d units.Duration) {
+	m.Q.RunUntil(m.Q.Now().Add(d))
+}
+
+// RunUntil advances the simulation to absolute time t.
+func (m *Machine) RunUntil(t units.Time) { m.Q.RunUntil(t) }
+
+// Rand exposes the machine's deterministic random source (used by agents
+// that need jitter; seeded from Options.Seed).
+func (m *Machine) Rand() *rand.Rand { return m.rng }
+
+// PowerState is an instantaneous electrical snapshot of the machine.
+type PowerState struct {
+	T       units.Time
+	Vcc     units.Volt // regulator output (core 0's regulator)
+	Vccload units.Volt // voltage at the cores after load-line droop
+	Icc     units.Ampere
+	Power   units.Watt
+	Freq    units.Hertz
+	Temp    units.Celsius
+	// CoreIPC is the delivered uops/cycle of each core (sum over its
+	// threads), the quantity the paper plots in Figs. 4 and 9.
+	CoreIPC []float64
+	// Throttled flags cores whose IDQ gate is engaged.
+	Throttled []bool
+	// Licenses is the per-core granted license.
+	Licenses []isa.Class
+}
+
+// Probe computes the instantaneous electrical state and advances the
+// thermal model to now. Experiments and the trace recorder call this at
+// their sampling rate.
+func (m *Machine) Probe() PowerState {
+	now := m.Q.Now()
+	vcc := m.PMU.Voltage(0, now)
+	freq := m.PMU.Frequency()
+
+	var cdyn float64
+	ipc := make([]float64, len(m.Cores))
+	throttled := make([]bool, len(m.Cores))
+	for i, c := range m.Cores {
+		throttled[i] = c.Throttled()
+		busy := false
+		for _, a := range c.Activity() {
+			if !a.Busy {
+				continue
+			}
+			busy = true
+			cdyn += (m.Proc.Cdyn.PerClass[a.Class] - m.Proc.Cdyn.Idle) * a.CdynScale * a.RateFraction
+			ipc[i] += a.RateFraction // relative to ~1 uop/cycle kernels
+		}
+		if busy {
+			cdyn += m.Proc.Cdyn.Idle
+		} else {
+			cdyn += m.Proc.Cdyn.Idle * 0.2 // clock-gated idle core
+		}
+	}
+	// Advance thermals under the previously computed power, then refresh.
+	temp := m.thermal.Advance(now, m.lastPower)
+	icc := power.DynamicCurrent(cdyn, vcc, freq) + m.Proc.Leakage.Current(vcc, temp)
+	watts := units.Watt(float64(vcc) * float64(icc))
+	m.lastPower = watts
+
+	return PowerState{
+		T:         now,
+		Vcc:       vcc,
+		Vccload:   m.loadLine.LoadVoltage(vcc, icc),
+		Icc:       icc,
+		Power:     watts,
+		Freq:      freq,
+		Temp:      temp,
+		CoreIPC:   ipc,
+		Throttled: throttled,
+		Licenses:  m.PMU.Licenses(),
+	}
+}
+
+// Threads returns the software threads bound so far.
+func (m *Machine) Threads() []*SWThread { return m.threads }

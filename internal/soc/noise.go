@@ -1,0 +1,104 @@
+package soc
+
+import (
+	"math"
+
+	"ichannels/internal/units"
+)
+
+// NoiseConfig describes OS noise injection: interrupts and context
+// switches with Poisson arrivals, matching the system-noise model of the
+// paper's §6.3 (interrupt latencies of a few µs, context switches of a few
+// tens of µs, at rates from a few to thousands of events per second).
+type NoiseConfig struct {
+	// InterruptRate is the machine-wide interrupt arrival rate, events
+	// per second. Zero disables interrupts.
+	InterruptRate float64
+	// InterruptMin/Max bound the uniformly drawn interrupt service time.
+	InterruptMin, InterruptMax units.Duration
+
+	// CtxSwitchRate is the context-switch arrival rate, events/second.
+	CtxSwitchRate float64
+	// CtxSwitchMin/Max bound the uniformly drawn switch-out duration.
+	CtxSwitchMin, CtxSwitchMax units.Duration
+}
+
+// DefaultInterrupt returns typical interrupt service bounds (paper §6.3
+// cites a few microseconds).
+func DefaultInterrupt() (units.Duration, units.Duration) {
+	return 2 * units.Microsecond, 8 * units.Microsecond
+}
+
+// DefaultCtxSwitch returns typical context-switch bounds (paper §6.3 cites
+// a few tens of microseconds).
+func DefaultCtxSwitch() (units.Duration, units.Duration) {
+	return 10 * units.Microsecond, 30 * units.Microsecond
+}
+
+// WithRates builds a NoiseConfig with default durations at the given
+// event rates.
+func WithRates(interruptsPerSec, ctxSwitchesPerSec float64) NoiseConfig {
+	imin, imax := DefaultInterrupt()
+	cmin, cmax := DefaultCtxSwitch()
+	return NoiseConfig{
+		InterruptRate: interruptsPerSec, InterruptMin: imin, InterruptMax: imax,
+		CtxSwitchRate: ctxSwitchesPerSec, CtxSwitchMin: cmin, CtxSwitchMax: cmax,
+	}
+}
+
+type noiseInjector struct {
+	m   *Machine
+	cfg NoiseConfig
+}
+
+func newNoiseInjector(m *Machine, cfg NoiseConfig) *noiseInjector {
+	n := &noiseInjector{m: m, cfg: cfg}
+	if cfg.InterruptRate > 0 {
+		n.scheduleNext(cfg.InterruptRate, "soc.noise.irq", cfg.InterruptMin, cfg.InterruptMax)
+	}
+	if cfg.CtxSwitchRate > 0 {
+		n.scheduleNext(cfg.CtxSwitchRate, "soc.noise.ctx", cfg.CtxSwitchMin, cfg.CtxSwitchMax)
+	}
+	return n
+}
+
+// scheduleNext arms the next Poisson arrival for one event type.
+func (n *noiseInjector) scheduleNext(rate float64, name string, dmin, dmax units.Duration) {
+	gap := units.FromSeconds(n.exp(1 / rate))
+	if gap < 1 {
+		gap = 1
+	}
+	n.m.Q.After(gap, name, func(units.Time) {
+		n.fire(dmin, dmax)
+		n.scheduleNext(rate, name, dmin, dmax)
+	})
+}
+
+// fire preempts one randomly chosen bound hardware thread for a uniformly
+// drawn service time.
+func (n *noiseInjector) fire(dmin, dmax units.Duration) {
+	var candidates []*SWThread
+	for _, t := range n.m.threads {
+		if !t.stopped {
+			candidates = append(candidates, t)
+		}
+	}
+	if len(candidates) == 0 {
+		return
+	}
+	victim := candidates[n.m.rng.Intn(len(candidates))]
+	dur := dmin
+	if dmax > dmin {
+		dur = dmin + units.Duration(n.m.rng.Int63n(int64(dmax-dmin)))
+	}
+	n.m.Cores[victim.env.CoreID].Preempt(victim.env.Slot, dur)
+}
+
+// exp draws an exponential variate with the given mean (seconds).
+func (n *noiseInjector) exp(mean float64) float64 {
+	u := n.m.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -mean * math.Log(u)
+}

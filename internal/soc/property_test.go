@@ -1,0 +1,148 @@
+package soc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/model"
+	"ichannels/internal/units"
+)
+
+// elapsedFor runs one burst of a class on a fresh machine and returns the
+// elapsed duration and the core's throttling period.
+func elapsedFor(t *testing.T, cls isa.Class, iters int64, seed int64) (units.Duration, units.Duration) {
+	t.Helper()
+	m, err := New(Options{Processor: model.CannonLake8121U(), RequestedFreq: 2.2 * units.GHz, Cores: 1, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d units.Duration
+	agent := AgentFunc{AgentName: "prop", Fn: func(env *Env, prev *Result) Action {
+		if prev == nil {
+			return Exec(isa.KernelFor(cls), iters)
+		}
+		d = prev.Elapsed()
+		return Stop()
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(400 * units.Microsecond)
+	if d == 0 {
+		t.Fatalf("burst of %v did not finish", cls)
+	}
+	return d, m.Cores[0].ThrottleTime(m.Now())
+}
+
+// Property: the throttling period is monotone non-decreasing in
+// instruction-class intensity — the foundation of the covert channel's
+// multi-level alphabet (Key Conclusion 4).
+func TestPropertyTPMonotoneInClass(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := isa.Class(int(aRaw) % isa.NumClasses)
+		b := isa.Class(int(bRaw) % isa.NumClasses)
+		if a > b {
+			a, b = b, a
+		}
+		_, tpA := elapsedFor(t, a, 100, 1)
+		_, tpB := elapsedFor(t, b, 100, 1)
+		return tpA <= tpB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: doubling the iteration count at a fixed class increases
+// elapsed time by at least the unthrottled work time of the extra
+// iterations (execution never gets faster with more work).
+func TestPropertyElapsedMonotoneInWork(t *testing.T) {
+	f := func(clsRaw uint8, extraRaw uint8) bool {
+		cls := isa.Class(int(clsRaw) % isa.NumClasses)
+		base := int64(50)
+		extra := int64(extraRaw%100) + 1
+		d1, _ := elapsedFor(t, cls, base, 2)
+		d2, _ := elapsedFor(t, cls, base+extra, 2)
+		return d2 > d1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: retired uops equal iterations × uops/iter exactly, regardless
+// of throttling, SMT sharing, or noise (work is conserved).
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(clsRaw uint8, itersRaw uint8, seedRaw uint8) bool {
+		cls := isa.Class(int(clsRaw) % isa.NumClasses)
+		iters := int64(itersRaw%200) + 1
+		m, err := New(Options{
+			Processor:     model.CannonLake8121U(),
+			RequestedFreq: 2.2 * units.GHz,
+			Noise:         WithRates(float64(seedRaw)*10, 50),
+			Seed:          int64(seedRaw),
+		})
+		if err != nil {
+			return false
+		}
+		var got float64
+		agent := AgentFunc{AgentName: "wc", Fn: func(env *Env, prev *Result) Action {
+			if prev == nil {
+				return Exec(isa.KernelFor(cls), iters)
+			}
+			got = prev.Counters.RetiredUops
+			return Stop()
+		}}
+		if _, err := m.Bind(0, 0, agent); err != nil {
+			return false
+		}
+		m.RunFor(2 * units.Millisecond)
+		want := float64(iters) * float64(isa.KernelFor(cls).UopsPerIter)
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: voltage never exceeds the worst-case (secure-mode) level and
+// never drops below the V/F baseline, no matter what runs.
+func TestPropertyVoltageBounded(t *testing.T) {
+	f := func(schedule []uint8) bool {
+		proc := model.CannonLake8121U()
+		m, err := New(Options{Processor: proc, RequestedFreq: 2.2 * units.GHz, Seed: 9})
+		if err != nil {
+			return false
+		}
+		base := proc.VF.Voltage(2.2 * units.GHz)
+		max := base + proc.Guardband.Max(2, 2.2*units.GHz)
+		idx := 0
+		agent := AgentFunc{AgentName: "vb", Fn: func(env *Env, prev *Result) Action {
+			if idx >= len(schedule) || idx >= 6 {
+				return Stop()
+			}
+			cls := isa.Class(int(schedule[idx]) % isa.NumClasses)
+			idx++
+			return Exec(isa.KernelFor(cls), 60)
+		}}
+		if _, err := m.Bind(0, 0, agent); err != nil {
+			return false
+		}
+		for i := 0; i < 40; i++ {
+			m.RunFor(25 * units.Microsecond)
+			v := m.PMU.Voltage(0, m.Now())
+			if v < base-1e-9 || v > max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

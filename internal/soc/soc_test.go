@@ -1,0 +1,277 @@
+package soc
+
+import (
+	"testing"
+
+	"ichannels/internal/isa"
+	"ichannels/internal/model"
+	"ichannels/internal/units"
+)
+
+func testMachine(t *testing.T, opts Options) *Machine {
+	t.Helper()
+	if opts.Processor.Name == "" {
+		opts.Processor = model.CannonLake8121U()
+	}
+	m, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMachineDefaults(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1})
+	if len(m.Cores) != 2 {
+		t.Fatalf("cores = %d", len(m.Cores))
+	}
+	if m.PMU.Frequency() != m.Proc.BaseFreq {
+		t.Fatalf("initial frequency %v", m.PMU.Frequency())
+	}
+	if m.Now() != 0 {
+		t.Fatalf("time %v", m.Now())
+	}
+}
+
+func TestNewMachineValidation(t *testing.T) {
+	p := model.CannonLake8121U()
+	if _, err := New(Options{Processor: p, Cores: 5}); err == nil {
+		t.Fatal("too many cores accepted")
+	}
+	if _, err := New(Options{Processor: p, RequestedFreq: 9 * units.GHz}); err == nil {
+		t.Fatal("frequency above Turbo accepted")
+	}
+	var empty model.Processor
+	if _, err := New(Options{Processor: empty}); err == nil {
+		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestTSCInvariant(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1})
+	c1 := m.TSC(units.Time(units.Microsecond))
+	want := int64(float64(m.Proc.TSCFreq) * 1e-6)
+	if c1 != want {
+		t.Fatalf("TSC(1µs) = %d, want %d", c1, want)
+	}
+	if m.CyclesOf(units.Microsecond) != want {
+		t.Fatalf("CyclesOf mismatch")
+	}
+}
+
+func TestReadTSCJitterBounds(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1, TSCJitterCycles: 100})
+	tm := units.Time(50 * units.Microsecond)
+	base := m.TSC(tm)
+	for i := 0; i < 200; i++ {
+		got := m.ReadTSC(tm)
+		if got < base || got >= base+100 {
+			t.Fatalf("jittered read %d outside [%d, %d)", got, base, base+100)
+		}
+	}
+}
+
+func TestAgentSequencing(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1})
+	var results []ActionKind
+	agent := AgentFunc{AgentName: "seq", Fn: func(env *Env, prev *Result) Action {
+		if prev != nil {
+			results = append(results, prev.Action.Kind)
+		}
+		switch len(results) {
+		case 0:
+			if prev != nil {
+				t.Error("first call must have nil prev")
+			}
+			return Exec(isa.Loop64b, 10)
+		case 1:
+			return SpinUntil(env.Now().Add(2 * units.Microsecond))
+		case 2:
+			return IdleFor(3 * units.Microsecond)
+		default:
+			return Stop()
+		}
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(200 * units.Microsecond)
+	if len(results) != 3 || results[0] != ActExec || results[1] != ActSpinUntil || results[2] != ActIdleFor {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestResultTimings(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1})
+	var res *Result
+	agent := AgentFunc{AgentName: "timing", Fn: func(env *Env, prev *Result) Action {
+		if prev == nil {
+			return Exec(isa.Loop64b, 100) // 10000 cycles @2.2GHz ≈ 4.545 µs
+		}
+		res = prev
+		return Stop()
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(100 * units.Microsecond)
+	if res == nil {
+		t.Fatal("no result")
+	}
+	wantUS := 10000 / 2.2e9 * 1e6
+	if got := res.Elapsed().Microseconds(); got < wantUS*0.99 || got > wantUS*1.01 {
+		t.Fatalf("elapsed %g µs, want ≈%g", got, wantUS)
+	}
+	if res.ElapsedTSC() <= 0 {
+		t.Fatal("TSC delta must be positive")
+	}
+	if res.Counters.RetiredUops < 19999 || res.Counters.RetiredUops > 20001 {
+		t.Fatalf("retired uops = %g", res.Counters.RetiredUops)
+	}
+}
+
+func TestBindConflicts(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1})
+	idle := AgentFunc{AgentName: "idle", Fn: func(env *Env, prev *Result) Action {
+		if prev == nil {
+			return IdleFor(50 * units.Microsecond)
+		}
+		return Stop()
+	}}
+	if _, err := m.Bind(0, 0, idle); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Bind(0, 0, idle); err == nil {
+		t.Fatal("double bind accepted")
+	}
+	if _, err := m.Bind(9, 0, idle); err == nil {
+		t.Fatal("bad core accepted")
+	}
+	if _, err := m.Bind(0, 5, idle); err == nil {
+		t.Fatal("bad slot accepted")
+	}
+	if _, err := m.Bind(0, 0, nil); err == nil {
+		t.Fatal("nil agent accepted")
+	}
+	// After the agent stops, the slot is reusable.
+	m.RunFor(100 * units.Microsecond)
+	if _, err := m.Bind(0, 0, idle); err != nil {
+		t.Fatalf("rebind after stop failed: %v", err)
+	}
+}
+
+func TestNoSMTSlotOnCoffeeLake(t *testing.T) {
+	m := testMachine(t, Options{Processor: model.CoffeeLake9700K(), Cores: 2, Seed: 1})
+	idle := AgentFunc{AgentName: "x", Fn: func(env *Env, prev *Result) Action { return Stop() }}
+	if _, err := m.Bind(0, 1, idle); err == nil {
+		t.Fatal("Coffee Lake has no SMT; slot 1 must be rejected")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		m := testMachine(t, Options{Seed: 77, Noise: WithRates(2000, 500), TSCJitterCycles: 100})
+		var elapsed []float64
+		agent := AgentFunc{AgentName: "d", Fn: func(env *Env, prev *Result) Action {
+			if prev != nil {
+				elapsed = append(elapsed, float64(prev.ElapsedTSC()))
+			}
+			if len(elapsed) >= 20 {
+				return Stop()
+			}
+			return Exec(isa.Loop256Heavy, 50)
+		}}
+		if _, err := m.Bind(0, 0, agent); err != nil {
+			t.Fatal(err)
+		}
+		m.RunFor(3 * units.Millisecond)
+		return elapsed
+	}
+	a, b := run(), run()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNoiseInjectionSlowsWork(t *testing.T) {
+	elapsed := func(noise NoiseConfig) units.Duration {
+		m := testMachine(t, Options{Seed: 5, Noise: noise})
+		var d units.Duration
+		agent := AgentFunc{AgentName: "w", Fn: func(env *Env, prev *Result) Action {
+			if prev == nil {
+				return Exec(isa.Loop64b, 20000) // ≈1.8 ms of work
+			}
+			d = prev.Elapsed()
+			return Stop()
+		}}
+		if _, err := m.Bind(0, 0, agent); err != nil {
+			t.Fatal(err)
+		}
+		m.RunFor(10 * units.Millisecond)
+		return d
+	}
+	quiet := elapsed(NoiseConfig{})
+	noisy := elapsed(WithRates(5000, 1000))
+	if noisy <= quiet {
+		t.Fatalf("noise did not slow execution: %v vs %v", noisy, quiet)
+	}
+}
+
+func TestProbeIdleAndBusy(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1})
+	idle := m.Probe()
+	if idle.Icc <= 0 {
+		t.Fatal("idle machine must still leak")
+	}
+	if idle.Vccload >= idle.Vcc {
+		t.Fatal("load-line droop missing")
+	}
+	busyDone := false
+	agent := AgentFunc{AgentName: "p", Fn: func(env *Env, prev *Result) Action {
+		if prev == nil {
+			return Exec(isa.Loop256Heavy, 2000)
+		}
+		busyDone = true
+		return Stop()
+	}}
+	if _, err := m.Bind(0, 0, agent); err != nil {
+		t.Fatal(err)
+	}
+	m.RunFor(100 * units.Microsecond)
+	busy := m.Probe()
+	if busyDone {
+		t.Fatal("worker finished too early for the probe")
+	}
+	if busy.Icc <= idle.Icc {
+		t.Fatalf("busy Icc %v not above idle %v", busy.Icc, idle.Icc)
+	}
+	if busy.CoreIPC[0] <= 0 {
+		t.Fatal("busy core must report IPC")
+	}
+	if len(busy.Licenses) != 2 {
+		t.Fatalf("licenses = %v", busy.Licenses)
+	}
+}
+
+func TestSecureModeMachineSettled(t *testing.T) {
+	m := testMachine(t, Options{Seed: 1, SecureMode: true})
+	base := m.Proc.VF.Voltage(m.PMU.Frequency())
+	if v := m.PMU.Voltage(0, m.Now()); v <= base {
+		t.Fatalf("secure-mode machine must start above baseline: %v vs %v", v, base)
+	}
+}
+
+func TestActionKindStrings(t *testing.T) {
+	if ActExec.String() != "exec" || ActStop.String() != "stop" ||
+		ActSpinUntil.String() != "spin" || ActIdleFor.String() != "idle" {
+		t.Fatal("action kind names wrong")
+	}
+	if ActionKind(42).String() != "ActionKind(42)" {
+		t.Fatal("unknown kind formatting")
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: summaries, histograms, separability checks for multi-level
+// distributions, and bit-error-rate accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample set.
+type Summary struct {
+	N             int
+	Mean, Std     float64
+	Min, Max      float64
+	P25, P50, P75 float64
+	P5, P95       float64
+}
+
+// Summarize computes a Summary of xs. An empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P5 = Percentile(sorted, 5)
+	s.P25 = Percentile(sorted, 25)
+	s.P50 = Percentile(sorted, 50)
+	s.P75 = Percentile(sorted, 75)
+	s.P95 = Percentile(sorted, 95)
+	return s
+}
+
+// Percentile returns the p-th percentile (0–100) of an ascending-sorted
+// slice using linear interpolation.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	pos := p / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	Total  int
+	Under  int // samples below Lo
+	Over   int // samples at or above Hi
+}
+
+// NewHistogram builds a histogram of xs over [lo, hi) with bins bins.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, fmt.Errorf("stats: bins must be positive, got %d", bins)
+	}
+	if hi <= lo {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g) is empty", lo, hi)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		h.Total++
+		switch {
+		case x < lo:
+			h.Under++
+		case x >= hi:
+			h.Over++
+		default:
+			h.Counts[int((x-lo)/width)]++
+		}
+	}
+	return h, nil
+}
+
+// BinCenter returns the center value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Density returns the probability density of bin i.
+func (h *Histogram) Density(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return float64(h.Counts[i]) / (float64(h.Total) * width)
+}
+
+// Mode returns the center of the most populated bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// Separable reports whether the per-level sample groups are pairwise
+// non-overlapping with at least gap between the max of one group and the
+// min of the next (groups ordered by mean). This is the paper's Fig. 13
+// property: the four TP ranges do not overlap, with >2K cycles between
+// them.
+func Separable(groups [][]float64, gap float64) bool {
+	type span struct{ lo, hi, mean float64 }
+	spans := make([]span, 0, len(groups))
+	for _, g := range groups {
+		if len(g) == 0 {
+			return false
+		}
+		s := Summarize(g)
+		spans = append(spans, span{s.Min, s.Max, s.Mean})
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].mean < spans[j].mean })
+	for i := 1; i < len(spans); i++ {
+		if spans[i].lo-spans[i-1].hi < gap {
+			return false
+		}
+	}
+	return true
+}
+
+// MidpointThresholds returns len(groups)-1 decision thresholds at the
+// midpoints between adjacent group means (groups must be ordered by
+// increasing symbol value; thresholds come back sorted by mean order).
+func MidpointThresholds(groups [][]float64) []float64 {
+	means := make([]float64, len(groups))
+	for i, g := range groups {
+		means[i] = Summarize(g).Mean
+	}
+	sorted := append([]float64(nil), means...)
+	sort.Float64s(sorted)
+	out := make([]float64, 0, len(sorted)-1)
+	for i := 1; i < len(sorted); i++ {
+		out = append(out, (sorted[i-1]+sorted[i])/2)
+	}
+	return out
+}
+
+// BitErrors counts differing bits between two equal-length bit slices.
+// It panics on length mismatch: comparing misaligned transmissions is a
+// harness bug, not a channel error.
+func BitErrors(sent, got []int) int {
+	if len(sent) != len(got) {
+		panic(fmt.Sprintf("stats: bit slice length mismatch %d vs %d", len(sent), len(got)))
+	}
+	n := 0
+	for i := range sent {
+		if sent[i] != got[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// BER returns the bit-error rate between sent and received bits.
+func BER(sent, got []int) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	return float64(BitErrors(sent, got)) / float64(len(sent))
+}

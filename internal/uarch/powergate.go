@@ -1,0 +1,116 @@
+package uarch
+
+import (
+	"fmt"
+
+	"ichannels/internal/sched"
+	"ichannels/internal/units"
+)
+
+// PowerGateConfig describes one execution-unit power gate (e.g. the AVX256
+// or AVX512 gate present on Skylake and later parts, paper §5.4).
+type PowerGateConfig struct {
+	// Present is false on parts without the gate (e.g. Haswell's AVX
+	// unit is not power-gated; its first AVX iteration pays nothing,
+	// Fig. 8(c)).
+	Present bool
+	// WakeLatency is the staggered wake-up time when the gate opens
+	// (8–15 ns measured in the paper; ~0.1% of a throttling period).
+	WakeLatency units.Duration
+	// IdleTimeout is how long the unit may sit unused before the local
+	// PMU closes the gate to save leakage.
+	IdleTimeout units.Duration
+}
+
+// Validate checks gate parameters.
+func (c PowerGateConfig) Validate() error {
+	if !c.Present {
+		return nil
+	}
+	if c.WakeLatency < 0 {
+		return fmt.Errorf("uarch: negative power-gate wake latency %v", c.WakeLatency)
+	}
+	if c.IdleTimeout <= 0 {
+		return fmt.Errorf("uarch: power-gate idle timeout must be positive, got %v", c.IdleTimeout)
+	}
+	return nil
+}
+
+// PowerGate tracks the open/closed state of one gated execution unit.
+// The local PMU opens it on first use (paying the staggered wake latency)
+// and closes it after IdleTimeout without use, unless the unit is still
+// in active use at that moment.
+type PowerGate struct {
+	cfg     PowerGateConfig
+	name    string
+	q       *sched.Queue
+	inUse   func() bool // still actively executing on the unit?
+	open    bool
+	lastUse units.Time
+	closeEv *sched.Event
+
+	// Wakes counts gate-open transitions (observable in Fig. 8(b) as the
+	// first-iteration latency delta).
+	Wakes uint64
+}
+
+// NewPowerGate creates a gate. inUse is consulted when the idle timer
+// fires: if it returns true the close is deferred. A gate that is not
+// Present behaves as always-open with zero wake latency.
+func NewPowerGate(name string, cfg PowerGateConfig, q *sched.Queue, inUse func() bool) (*PowerGate, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if inUse == nil {
+		inUse = func() bool { return false }
+	}
+	return &PowerGate{cfg: cfg, name: name, q: q, inUse: inUse}, nil
+}
+
+// Open reports whether the gate is currently open (units powered).
+func (g *PowerGate) Open() bool { return !g.cfg.Present || g.open }
+
+// Use records a use of the unit at time now and returns the wake delay the
+// consumer must wait before executing (zero if the gate was already open).
+func (g *PowerGate) Use(now units.Time) units.Duration {
+	if !g.cfg.Present {
+		return 0
+	}
+	g.lastUse = now
+	if g.open {
+		g.rescheduleClose(now)
+		return 0
+	}
+	g.open = true
+	g.Wakes++
+	g.rescheduleClose(now)
+	return g.cfg.WakeLatency
+}
+
+// Touch refreshes the idle timer without requesting a wake (used when a
+// long-running kernel keeps the unit busy).
+func (g *PowerGate) Touch(now units.Time) {
+	if !g.cfg.Present || !g.open {
+		return
+	}
+	g.lastUse = now
+	g.rescheduleClose(now)
+}
+
+func (g *PowerGate) rescheduleClose(now units.Time) {
+	g.q.Cancel(g.closeEv)
+	g.closeEv = g.q.At(g.lastUse.Add(g.cfg.IdleTimeout), g.name+".close", g.onIdleTimer)
+}
+
+func (g *PowerGate) onIdleTimer(now units.Time) {
+	if !g.open {
+		return
+	}
+	if g.inUse() {
+		// Unit still busy: check again a full timeout later.
+		g.lastUse = now
+		g.rescheduleClose(now)
+		return
+	}
+	g.open = false
+}
