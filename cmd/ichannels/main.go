@@ -5,15 +5,26 @@
 //
 //	ichannels list                      list available experiments
 //	ichannels exp <id> [-seed N]        run one experiment (e.g. fig10a)
-//	ichannels exp all [-seed N]         run every experiment
+//	ichannels exp all [-seed N]         run every experiment serially
+//	ichannels run [ids...|--all] [-parallel N] [-seed N] [-json]
+//	                                    batch experiments on a worker pool
+//	ichannels serve [-addr HOST:PORT]   serve experiments over HTTP
 //	ichannels demo [-kind K] [-seed N]  transmit a message covertly
 //	ichannels spy [-seed N]             instruction-class inference demo
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"time"
 
 	"ichannels"
 )
@@ -29,6 +40,10 @@ func main() {
 		err = list()
 	case "exp":
 		err = runExp(os.Args[2:])
+	case "run":
+		err = runBatch(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
 	case "demo":
 		err = demo(os.Args[2:])
 	case "spy":
@@ -50,7 +65,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   ichannels list                      list available experiments
-  ichannels exp <id>|all [-seed N]    regenerate paper figures/tables
+  ichannels exp <id>|all [-seed N]    regenerate paper figures/tables (serial)
+  ichannels run [ids...] [--all] [-parallel N] [-seed N] [-json]
+                                      batch experiments on a worker pool
+  ichannels serve [-addr HOST:PORT]   HTTP API: GET /experiments, POST /run/{name}?seed=N
   ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -58,9 +76,112 @@ func usage() {
 
 func list() error {
 	for _, e := range ichannels.Experiments() {
-		fmt.Printf("  %-10s %s\n", e[0], e[1])
+		fmt.Printf("  %-10s %-6s %s\n", e.ID, e.Section, e.Desc)
 	}
 	return nil
+}
+
+// runBatch executes experiments through the parallel engine. Reports go
+// to stdout (deterministic for a fixed seed, regardless of -parallel);
+// per-experiment timing goes to stderr.
+func runBatch(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	all := fs.Bool("all", false, "run every registered experiment")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+	seed := fs.Int64("seed", 1, "base seed (per-experiment seeds derive from it)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON batch instead of text reports")
+	// Accept experiment ids and flags in any order ("run fig13 -seed 7",
+	// "run -json fig11 -seed 7"), matching the exp subcommand's id-first
+	// convention: alternate between collecting non-flag tokens as ids
+	// and handing the rest back to the flag parser.
+	var ids []string
+	rest := args
+	for len(rest) > 0 {
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			ids = append(ids, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if len(fs.Args()) == len(rest) {
+			return fmt.Errorf("run: unexpected argument %q", rest[0])
+		}
+		rest = fs.Args()
+	}
+	if *all && len(ids) > 0 {
+		return errors.New("run: give either --all or explicit experiment ids, not both")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("run: experiment %q given more than once (same seed would just repeat the report)", id)
+		}
+		seen[id] = true
+	}
+	if !*all && len(ids) == 0 {
+		return errors.New("run: no experiments selected (pass ids or --all; see 'ichannels list')")
+	}
+	if *all {
+		ids = nil // engine default: every registered experiment
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	batch, err := ichannels.RunExperiments(ctx, ichannels.BatchOptions{
+		IDs: ids, BaseSeed: *seed, Parallel: *parallel,
+	})
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		if err := batch.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		if err := batch.WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	batch.WriteTiming(os.Stderr)
+	if failed := batch.Failed(); len(failed) > 0 {
+		return fmt.Errorf("run: %d of %d experiments failed (first: %s: %v)",
+			len(failed), len(batch.Results), failed[0].ID, failed[0].Err)
+	}
+	return nil
+}
+
+// serveCmd runs the HTTP experiment server until interrupted.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           ichannels.NewExperimentServer(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "ichannels: serving experiments on http://%s (GET /experiments, POST /run/{name}?seed=N)\n", ln.Addr())
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
 }
 
 func runExp(args []string) error {
@@ -83,7 +204,7 @@ func runExp(args []string) error {
 	}
 	if id == "all" {
 		for _, e := range ichannels.Experiments() {
-			if err := run(e[0]); err != nil {
+			if err := run(e.ID); err != nil {
 				return err
 			}
 		}

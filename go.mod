@@ -1,0 +1,3 @@
+module ichannels
+
+go 1.24

@@ -17,7 +17,14 @@
 //   - the paper's three mitigations (per-core VRs, improved throttling,
 //     secure mode) and an evaluation harness;
 //   - runners that regenerate every figure and table of the paper's
-//     evaluation.
+//     evaluation, a parallel batch engine that executes them on a worker
+//     pool with per-experiment derived seeds (RunExperiments), and an
+//     HTTP server with an (experiment, seed) result cache
+//     (NewExperimentServer).
+//
+// Determinism is a hard guarantee throughout: for a fixed seed the
+// simulator, every experiment, and every batch (at any parallelism)
+// reproduce byte-identical results. See docs/ARCHITECTURE.md.
 //
 // Quickstart:
 //
@@ -30,13 +37,18 @@
 package ichannels
 
 import (
+	"context"
+	"net/http"
+
 	"ichannels/internal/baselines"
 	"ichannels/internal/core"
 	"ichannels/internal/ecc"
+	"ichannels/internal/engine"
 	"ichannels/internal/exp"
 	"ichannels/internal/isa"
 	"ichannels/internal/mitigate"
 	"ichannels/internal/model"
+	"ichannels/internal/serve"
 	"ichannels/internal/soc"
 	"ichannels/internal/trace"
 	"ichannels/internal/units"
@@ -262,9 +274,40 @@ const (
 // Report is a regenerated figure/table.
 type Report = exp.Report
 
+// ExperimentInfo describes one registered experiment (ID, paper section,
+// description).
+type ExperimentInfo = exp.Experiment
+
 // RunExperiment regenerates one of the paper's figures or tables by ID
-// (fig6a…fig14c, sevenzip, table1, table2).
+// (fig6a…fig14c, sevenzip, table1, table2) with an explicit seed.
 func RunExperiment(id string, seed int64) (*Report, error) { return exp.Run(id, seed) }
 
-// Experiments lists available experiment IDs with descriptions.
-func Experiments() [][2]string { return exp.Experiments() }
+// Experiments lists the registered experiments in definition order.
+func Experiments() []ExperimentInfo { return exp.Experiments() }
+
+// ---- Experiment engine (batch) and serving ----
+
+// BatchOptions configures a parallel batch run of experiments.
+type BatchOptions = engine.Options
+
+// BatchResult is one experiment's outcome within a batch.
+type BatchResult = engine.Result
+
+// ExperimentBatch is the outcome of a batch run.
+type ExperimentBatch = engine.Batch
+
+// RunExperiments executes experiments on a worker pool with derived
+// per-experiment seeds. For a fixed BaseSeed the reports are
+// byte-identical regardless of BatchOptions.Parallel.
+func RunExperiments(ctx context.Context, opts BatchOptions) (*ExperimentBatch, error) {
+	return engine.Run(ctx, opts)
+}
+
+// DeriveSeed maps a batch base seed and an experiment ID to the seed
+// that experiment receives in a batch.
+func DeriveSeed(base int64, id string) int64 { return engine.DeriveSeed(base, id) }
+
+// NewExperimentServer returns an http.Handler exposing the experiment
+// registry: GET /experiments lists runners, POST /run/{name}?seed=N
+// executes one (results are cached per (experiment, seed)).
+func NewExperimentServer() http.Handler { return serve.New(serve.Options{}).Handler() }

@@ -1,6 +1,9 @@
 package ichannels_test
 
 import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
 	"testing"
 
 	"ichannels"
@@ -55,12 +58,55 @@ func TestExperimentRegistryExposed(t *testing.T) {
 	if len(ichannels.Experiments()) < 19 {
 		t.Fatalf("experiments = %d", len(ichannels.Experiments()))
 	}
+	for _, e := range ichannels.Experiments() {
+		if e.ID == "" || e.Section == "" || e.Desc == "" {
+			t.Fatalf("incomplete experiment info: %+v", e)
+		}
+	}
 	rep, err := ichannels.RunExperiment("fig11", 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.Metrics["throttled_undelivered_frac"] < 0.7 {
 		t.Fatal("fig11 metric missing")
+	}
+}
+
+func TestExperimentEngineExposed(t *testing.T) {
+	batch, err := ichannels.RunExperiments(context.Background(), ichannels.BatchOptions{
+		IDs: []string{"fig13", "fig11"}, BaseSeed: 1, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 || len(batch.Failed()) != 0 {
+		t.Fatalf("batch: %d results, %d failed", len(batch.Results), len(batch.Failed()))
+	}
+	if batch.Results[0].ID != "fig13" || batch.Results[1].ID != "fig11" {
+		t.Fatal("batch results not in request order")
+	}
+	if batch.Results[0].Seed != ichannels.DeriveSeed(1, "fig13") {
+		t.Fatal("batch did not use the derived seed")
+	}
+}
+
+func TestExperimentServerExposed(t *testing.T) {
+	ts := httptest.NewServer(ichannels.NewExperimentServer())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /experiments: %d", resp.StatusCode)
+	}
+	var list []ichannels.ExperimentInfo
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(ichannels.Experiments()) {
+		t.Fatalf("served %d experiments, registry has %d", len(list), len(ichannels.Experiments()))
 	}
 }
 

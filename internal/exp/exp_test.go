@@ -43,10 +43,20 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	have := map[string]bool{}
 	for _, e := range Experiments() {
-		have[e[0]] = true
-		if e[1] == "" {
-			t.Errorf("%s has no description", e[0])
+		have[e.ID] = true
+		if e.Desc == "" {
+			t.Errorf("%s has no description", e.ID)
 		}
+		if e.Section == "" {
+			t.Errorf("%s has no paper section", e.ID)
+		}
+		got, ok := Lookup(e.ID)
+		if !ok || got.ID != e.ID {
+			t.Errorf("Lookup(%s) failed", e.ID)
+		}
+	}
+	if len(IDs()) != len(Experiments()) {
+		t.Error("IDs() and Experiments() disagree")
 	}
 	for _, id := range want {
 		if !have[id] {

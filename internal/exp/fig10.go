@@ -10,8 +10,8 @@ import (
 )
 
 func init() {
-	register("fig10a", "throttling period vs. class × frequency × core count (Cannon Lake)", Fig10a)
-	register("fig10b", "512b_Heavy throttling period vs. preceding instruction class", Fig10b)
+	register("fig10a", "§5.5", "throttling period vs. class × frequency × core count (Cannon Lake)", Fig10a)
+	register("fig10b", "§5.5", "512b_Heavy throttling period vs. preceding instruction class", Fig10b)
 }
 
 // Fig10a reproduces Fig. 10(a): the throttling period of each of the

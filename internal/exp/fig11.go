@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("fig11", "IDQ undelivered-uop fraction: throttled vs unthrottled iterations", Fig11)
+	register("fig11", "§5.6", "IDQ undelivered-uop fraction: throttled vs unthrottled iterations", Fig11)
 }
 
 // Fig11 reproduces Fig. 11(a): the normalized IDQ_UOPS_NOT_DELIVERED

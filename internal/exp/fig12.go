@@ -11,8 +11,8 @@ import (
 )
 
 func init() {
-	register("fig12a", "IccThreadCovert vs NetSpectre throughput", Fig12a)
-	register("fig12b", "IChannels vs DFScovert/TurboCC/PowerT throughput", Fig12b)
+	register("fig12a", "§6.2", "IccThreadCovert vs NetSpectre throughput", Fig12a)
+	register("fig12b", "§6.2", "IChannels vs DFScovert/TurboCC/PowerT throughput", Fig12b)
 }
 
 // runIChannel calibrates and transmits nBits over one IChannels variant,

@@ -11,7 +11,7 @@ import (
 )
 
 func init() {
-	register("fig13", "receiver TP distribution per symbol level in a low-noise system", Fig13)
+	register("fig13", "§6.1", "receiver TP distribution per symbol level in a low-noise system", Fig13)
 }
 
 // Fig13 reproduces Fig. 13: the distribution of the receiver's measured

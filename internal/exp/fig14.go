@@ -13,10 +13,10 @@ import (
 )
 
 func init() {
-	register("fig14a", "BER vs interrupt / context-switch rate", Fig14a)
-	register("fig14b", "decoding errors by App-PHI level × channel-PHI level", Fig14b)
-	register("fig14c", "BER vs concurrent App-PHI injection rate", Fig14c)
-	register("sevenzip", "BER with the 7-zip proxy running concurrently", SevenZip)
+	register("fig14a", "§6.3", "BER vs interrupt / context-switch rate", Fig14a)
+	register("fig14b", "§6.3", "decoding errors by App-PHI level × channel-PHI level", Fig14b)
+	register("fig14c", "§6.3", "BER vs concurrent App-PHI injection rate", Fig14c)
+	register("sevenzip", "§6.3", "BER with the 7-zip proxy running concurrently", SevenZip)
 }
 
 // noisyTransmit runs an IccThreadCovert transmission under a given noise

@@ -10,8 +10,8 @@ import (
 )
 
 func init() {
-	register("fig6a", "Vcc delta as two Coffee Lake cores start/stop AVX2 at 2 GHz", Fig6a)
-	register("fig6b", "Vcc delta running the 454.calculix proxy on two cores", Fig6b)
+	register("fig6a", "§5.2", "Vcc delta as two Coffee Lake cores start/stop AVX2 at 2 GHz", Fig6a)
+	register("fig6b", "§5.2", "Vcc delta running the 454.calculix proxy on two cores", Fig6b)
 }
 
 // Fig6a reproduces Fig. 6(a): two Coffee Lake cores at a fixed 2 GHz run

@@ -10,8 +10,8 @@ import (
 )
 
 func init() {
-	register("fig7a", "Vcc/Icc vs. design limits at Turbo (desktop & mobile)", Fig7a)
-	register("fig7b", "freq/Vcc/Icc/temperature across Non-AVX→AVX2→AVX512 phases", Fig7b)
+	register("fig7a", "§5.3", "Vcc/Icc vs. design limits at Turbo (desktop & mobile)", Fig7a)
+	register("fig7b", "§5.3", "freq/Vcc/Icc/temperature across Non-AVX→AVX2→AVX512 phases", Fig7b)
 }
 
 // projected computes the operating point a workload class *would* demand

@@ -11,8 +11,8 @@ import (
 )
 
 func init() {
-	register("fig8a", "throttling-period distribution per processor (AVX2)", Fig8a)
-	register("fig8bc", "AVX2 power-gate wake latency via first-iteration delta", Fig8bc)
+	register("fig8a", "§5.4", "throttling-period distribution per processor (AVX2)", Fig8a)
+	register("fig8bc", "§5.4", "AVX2 power-gate wake latency via first-iteration delta", Fig8bc)
 }
 
 // fig8aOperatingPoint returns the frequency each part is characterized at

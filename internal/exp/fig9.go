@@ -10,7 +10,7 @@ import (
 )
 
 func init() {
-	register("fig9", "power-gate/IPC/frequency/Vcc timeline during AVX2 execution", Fig9)
+	register("fig9", "§5.6", "power-gate/IPC/frequency/Vcc timeline during AVX2 execution", Fig9)
 }
 
 // Fig9 reproduces Fig. 9: the microsecond-scale anatomy of one AVX2 burst

@@ -1,0 +1,71 @@
+package exp
+
+import "fmt"
+
+// Runner regenerates one experiment. The seed makes noise deterministic:
+// running the same experiment twice with the same seed must produce an
+// identical Report (the engine and serve layers rely on this contract,
+// see docs/ARCHITECTURE.md).
+type Runner func(seed int64) (*Report, error)
+
+// Experiment describes one registered figure/table runner.
+type Experiment struct {
+	// ID is the CLI/HTTP name of the experiment (e.g. "fig10a").
+	ID string `json:"id"`
+	// Section is the paper section the experiment reproduces (e.g.
+	// "§5.5"); extensions beyond the paper carry the section they
+	// extrapolate from.
+	Section string `json:"section"`
+	// Desc is a one-line human-readable description.
+	Desc string `json:"desc"`
+	// Run executes the experiment.
+	Run Runner `json:"-"`
+}
+
+// registry holds every experiment in definition (= paper) order.
+var registry []Experiment
+
+// register adds a runner at package init time. IDs must be unique.
+func register(id, section, desc string, r Runner) {
+	for _, e := range registry {
+		if e.ID == id {
+			panic("exp: duplicate experiment id " + id)
+		}
+	}
+	registry = append(registry, Experiment{ID: id, Section: section, Desc: desc, Run: r})
+}
+
+// Experiments lists the registered experiments in definition order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns the registered experiment IDs in definition order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, seed int64) (*Report, error) {
+	e, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (use one of %v)", id, IDs())
+	}
+	return e.Run(seed)
+}

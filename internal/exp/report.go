@@ -3,6 +3,13 @@
 // machine(s) it needs, runs the workloads, and returns a Report with the
 // same rows/series the paper plots, plus scalar metrics that the
 // repository's benchmarks and tests assert on.
+//
+// The package is split into the experiment runners (fig*.go, tables.go,
+// server.go), the registry that names them (registry.go), and the Report
+// type they produce (this file). Reports render both as aligned plain
+// text (String) and as deterministic JSON (encoding/json); orchestration
+// — worker pools, derived seeds, timing — lives one layer up in
+// internal/engine, and HTTP serving in internal/serve.
 package exp
 
 import (
@@ -13,9 +20,9 @@ import (
 
 // Table is a printable result table.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
+	Title  string     `json:"title,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 }
 
 // AddRow appends a formatted row.
@@ -56,17 +63,20 @@ func (t *Table) render(b *strings.Builder) {
 	}
 }
 
-// Report is the structured output of one experiment.
+// Report is the structured output of one experiment. Its JSON encoding is
+// deterministic for deterministic content (encoding/json emits map keys
+// in sorted order), which the engine's parallel-vs-serial equality
+// guarantee and the serve cache rely on.
 type Report struct {
-	ID    string
-	Title string
+	ID    string `json:"id"`
+	Title string `json:"title"`
 	// Tables hold the figure/table data in the paper's layout.
-	Tables []*Table
+	Tables []*Table `json:"tables,omitempty"`
 	// Metrics are scalar results keyed by name (asserted by tests,
 	// reported by benchmarks).
-	Metrics map[string]float64
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 	// Notes records caveats and paper-vs-measured commentary.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // NewReport creates an empty report.
@@ -115,55 +125,4 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "note: %s\n", n)
 	}
 	return b.String()
-}
-
-// Runner regenerates one experiment. The seed makes noise deterministic.
-type Runner func(seed int64) (*Report, error)
-
-// registryEntry pairs a runner with its description for the CLI.
-type registryEntry struct {
-	ID     string
-	Desc   string
-	Runner Runner
-}
-
-var registry []registryEntry
-
-func register(id, desc string, r Runner) {
-	registry = append(registry, registryEntry{ID: id, Desc: desc, Runner: r})
-}
-
-// Experiments lists the registered experiment IDs in definition order,
-// with descriptions.
-func Experiments() [][2]string {
-	out := make([][2]string, len(registry))
-	for i, e := range registry {
-		out[i] = [2]string{e.ID, e.Desc}
-	}
-	return out
-}
-
-// Run executes the experiment with the given ID.
-func Run(id string, seed int64) (*Report, error) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e.Runner(seed)
-		}
-	}
-	return nil, fmt.Errorf("exp: unknown experiment %q (use one of %v)", id, ids())
-}
-
-func ids() []string {
-	out := make([]string, len(registry))
-	for i, e := range registry {
-		out[i] = e.ID
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

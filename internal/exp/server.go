@@ -9,7 +9,7 @@ import (
 )
 
 func init() {
-	register("server", "extension (§6.4): IChannels on a Skylake-SP server part", Server)
+	register("server", "§6.4", "IChannels on a Skylake-SP server part (extension)", Server)
 }
 
 // Server is an extension experiment for the paper's §6.4: Intel server

@@ -9,8 +9,8 @@ import (
 )
 
 func init() {
-	register("table1", "mitigation effectiveness matrix (per-core VR / improved throttling / secure mode)", Table1)
-	register("table2", "comparison with NetSpectre and TurboCC (capabilities and bandwidth)", Table2)
+	register("table1", "§7", "mitigation effectiveness matrix (per-core VR / improved throttling / secure mode)", Table1)
+	register("table2", "§6.2", "comparison with NetSpectre and TurboCC (capabilities and bandwidth)", Table2)
 }
 
 // Table1 reproduces Table 1: effectiveness of the three proposed

@@ -4,7 +4,8 @@
 // paper's measured numbers: guardband steps from Fig. 6 and Fig. 10,
 // throttling periods from Fig. 8(a), electrical limits from Fig. 7, power
 // gate wake latencies from Fig. 8(b,c), and the 650 µs reset-time from
-// §4.1.2. EXPERIMENTS.md records paper-vs-model values per figure.
+// §4.1.2. The integration tests in internal/exp assert the
+// paper-vs-model values per figure.
 package model
 
 import (

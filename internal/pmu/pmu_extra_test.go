@@ -133,7 +133,6 @@ func TestVccmaxBindsBeforeIccmax(t *testing.T) {
 	// With a tight Vccmax the grant path must downshift even when the
 	// current budget is fine.
 	cfg := testConfig()
-	cfg.Limits = cfg.Limits // copy
 	cfg.Limits.VccMax = cfg.VF.Voltage(2.2*units.GHz) + units.MV(20)
 	cfg.Limits.IccMax = 1000
 	p, q, cores := newTestPMU(t, cfg, 1)

@@ -1,0 +1,222 @@
+// Package serve exposes the experiment registry over HTTP so a fleet of
+// clients can request figure/table regenerations without shelling out to
+// the CLI:
+//
+//	GET  /experiments        list registered experiments (id, section, desc)
+//	POST /run/{name}?seed=N  run one experiment with an explicit seed
+//
+// Results are cached in memory keyed by (experiment, seed). Because the
+// simulator is deterministic for a fixed seed (see docs/ARCHITECTURE.md),
+// a cached report is bit-for-bit the report a fresh run would produce, so
+// repeated requests are served without recomputation. Concurrent requests
+// for the same key are coalesced: only the first computes, the rest wait
+// for its result. Runner errors are cached too — they are equally
+// deterministic — so a failing (experiment, seed) pair does not burn CPU
+// on every retry. The cache is bounded (Options.MaxCacheEntries, FIFO
+// eviction) so seed sweeps cannot grow the process without limit.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ichannels/internal/engine"
+	"ichannels/internal/exp"
+)
+
+// DefaultMaxCacheEntries bounds the result cache when Options leaves
+// MaxCacheEntries zero.
+const DefaultMaxCacheEntries = 1024
+
+// Options configures a Server.
+type Options struct {
+	// Run overrides the experiment executor (nil means exp.Run).
+	// Injected by tests to observe cache behavior.
+	Run engine.RunFunc
+	// MaxCacheEntries bounds the result cache; when full, the oldest
+	// completed entry is evicted (FIFO). Zero means
+	// DefaultMaxCacheEntries. Negative disables caching — and with it
+	// the coalescing of concurrent identical requests, which rides on
+	// the published cache entries.
+	MaxCacheEntries int
+	// MaxConcurrent bounds how many simulations run at once across all
+	// requests (coalesced duplicates share one slot). Zero means
+	// GOMAXPROCS, negative means unbounded.
+	MaxConcurrent int
+}
+
+// Server runs experiments on demand and caches their reports.
+type Server struct {
+	run      engine.RunFunc
+	maxCache int
+	sem      chan struct{} // nil = unbounded; else bounds running simulations
+
+	mu     sync.Mutex
+	cache  map[cacheKey]*cacheEntry
+	order  []cacheKey // insertion order, for FIFO eviction
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct {
+	ID   string
+	Seed int64
+}
+
+// cacheEntry coalesces concurrent computations of one key: the entry is
+// published under the mutex, the computation runs exactly once. done
+// flips after the computation finishes so eviction can skip in-flight
+// entries (evicting one would let a concurrent identical request start
+// a duplicate simulation).
+type cacheEntry struct {
+	once    sync.Once
+	done    atomic.Bool
+	report  *exp.Report
+	err     error
+	elapsed time.Duration
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	run := opts.Run
+	if run == nil {
+		run = exp.Run
+	}
+	maxCache := opts.MaxCacheEntries
+	if maxCache == 0 {
+		maxCache = DefaultMaxCacheEntries
+	}
+	var sem chan struct{}
+	switch c := opts.MaxConcurrent; {
+	case c == 0:
+		sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	case c > 0:
+		sem = make(chan struct{}, c)
+	}
+	return &Server{run: run, maxCache: maxCache, sem: sem, cache: map[cacheKey]*cacheEntry{}}
+}
+
+// Handler returns the HTTP routing for the server.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", s.handleList)
+	mux.HandleFunc("POST /run/{name}", s.handleRun)
+	return mux
+}
+
+// CacheStats reports cache hits and misses so far (hit = the request
+// found a published entry, even if it then waited for the computation).
+func (s *Server) CacheStats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, exp.Experiments())
+}
+
+// runResponse is the wire form of one run. The report object is the
+// deterministic payload; cached/elapsed_us are serving metadata.
+type runResponse struct {
+	ID        string      `json:"id"`
+	Section   string      `json:"section,omitempty"`
+	Desc      string      `json:"desc,omitempty"`
+	Seed      int64       `json:"seed"`
+	Cached    bool        `json:"cached"`
+	ElapsedUS float64     `json:"elapsed_us"`
+	Report    *exp.Report `json:"report"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	e, ok := exp.Lookup(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
+		return
+	}
+	seed := int64(1)
+	if q := r.URL.Query().Get("seed"); q != "" {
+		var err error
+		if seed, err = strconv.ParseInt(q, 10, 64); err != nil {
+			writeError(w, http.StatusBadRequest, "bad seed %q: must be an integer", q)
+			return
+		}
+	}
+
+	key := cacheKey{ID: name, Seed: seed}
+	s.mu.Lock()
+	ent, hit := s.cache[key]
+	// A request only counts as served-from-cache if the result already
+	// existed when it arrived; a coalesced waiter on an in-flight entry
+	// still pays the compute wall-clock.
+	cached := hit && ent != nil && ent.done.Load()
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+		ent = &cacheEntry{}
+		if s.maxCache > 0 {
+			// Evict oldest completed entries; in-flight ones are
+			// skipped (the cap may be exceeded transiently, bounded
+			// by MaxConcurrent plus waiters).
+			for len(s.cache) >= s.maxCache {
+				evicted := false
+				for i, k := range s.order {
+					if e := s.cache[k]; e != nil && e.done.Load() {
+						s.order = append(s.order[:i:i], s.order[i+1:]...)
+						delete(s.cache, k)
+						evicted = true
+						break
+					}
+				}
+				if !evicted {
+					break
+				}
+			}
+			s.cache[key] = ent
+			s.order = append(s.order, key)
+		}
+	}
+	s.mu.Unlock()
+
+	ent.once.Do(func() {
+		if s.sem != nil {
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+		}
+		t0 := time.Now()
+		ent.report, ent.err = engine.RunIsolated(s.run, name, seed)
+		ent.elapsed = time.Since(t0)
+		ent.done.Store(true)
+	})
+
+	if ent.err != nil {
+		writeError(w, http.StatusInternalServerError, "%s (seed %d): %v", name, seed, ent.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, runResponse{
+		ID: name, Section: e.Section, Desc: e.Desc, Seed: seed,
+		Cached:    cached,
+		ElapsedUS: float64(ent.elapsed) / float64(time.Microsecond),
+		Report:    ent.report,
+	})
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ichannels/internal/exp"
+)
+
+// countingRun wraps a fake runner and counts executions per (id, seed).
+func countingRun(calls *int64, fail bool) func(string, int64) (*exp.Report, error) {
+	return func(id string, seed int64) (*exp.Report, error) {
+		atomic.AddInt64(calls, 1)
+		if fail {
+			return nil, errors.New("synthetic failure")
+		}
+		rep := exp.NewReport(id, "served")
+		rep.Metric("seed", float64(seed))
+		rep.Table("t", "a", "b").AddRow("1", "2")
+		return rep, nil
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+func TestListExperiments(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/experiments")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var list []exp.Experiment
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(exp.IDs()) {
+		t.Fatalf("listed %d experiments, registry has %d", len(list), len(exp.IDs()))
+	}
+	for _, e := range list {
+		if e.ID == "" || e.Desc == "" || e.Section == "" {
+			t.Errorf("incomplete listing entry: %+v", e)
+		}
+	}
+}
+
+func TestRunAndCacheHit(t *testing.T) {
+	var calls int64
+	srv := New(Options{Run: countingRun(&calls, false)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := post(t, ts, "/run/fig6a?seed=7")
+	if code != http.StatusOK {
+		t.Fatalf("first run: status %d: %s", code, body)
+	}
+	var first runResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached || first.ID != "fig6a" || first.Seed != 7 {
+		t.Fatalf("first response: %+v", first)
+	}
+	if first.Report == nil || first.Report.Metrics["seed"] != 7 {
+		t.Fatalf("report missing or wrong seed: %+v", first.Report)
+	}
+
+	code, body2 := post(t, ts, "/run/fig6a?seed=7")
+	if code != http.StatusOK {
+		t.Fatalf("second run: status %d", code)
+	}
+	var second runResponse
+	if err := json.Unmarshal(body2, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Error("second identical request not served from cache")
+	}
+	if calls != 1 {
+		t.Errorf("runner executed %d times, want 1", calls)
+	}
+	// The deterministic payload must be byte-identical across the two.
+	a, _ := json.Marshal(first.Report)
+	b, _ := json.Marshal(second.Report)
+	if string(a) != string(b) {
+		t.Error("cached report differs from the computed one")
+	}
+
+	// A different seed is a different key.
+	if code, _ := post(t, ts, "/run/fig6a?seed=8"); code != http.StatusOK {
+		t.Fatalf("seed 8: status %d", code)
+	}
+	if calls != 2 {
+		t.Errorf("distinct seed did not recompute (calls=%d)", calls)
+	}
+	if hits, misses := srv.CacheStats(); hits != 1 || misses != 2 {
+		t.Errorf("cache stats hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+func TestConcurrentRequestsCoalesce(t *testing.T) {
+	var calls int64
+	srv := New(Options{Run: countingRun(&calls, false)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(ts.URL+"/run/fig13?seed=3", "", nil)
+			if err == nil {
+				codes[i] = resp.StatusCode
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("request %d: status %d", i, c)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("%d concurrent identical requests ran the experiment %d times, want 1", n, calls)
+	}
+}
+
+func TestMaxConcurrentBoundsDistinctSeeds(t *testing.T) {
+	var cur, peak int64
+	slow := func(id string, seed int64) (*exp.Report, error) {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			old := atomic.LoadInt64(&peak)
+			if n <= old || atomic.CompareAndSwapInt64(&peak, old, n) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+		return exp.NewReport(id, "slow"), nil
+	}
+	srv := New(Options{Run: slow, MaxConcurrent: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := ts.Client().Post(fmt.Sprintf("%s/run/fig6a?seed=%d", ts.URL, i), "", nil)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if peak > 2 {
+		t.Errorf("peak concurrent simulations %d exceeds MaxConcurrent=2", peak)
+	}
+	if peak < 2 {
+		t.Errorf("distinct-seed requests never overlapped (peak %d)", peak)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	var calls int64
+	srv := New(Options{Run: countingRun(&calls, false), MaxCacheEntries: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post(t, ts, "/run/fig6a?seed=1") // cache: {1}
+	post(t, ts, "/run/fig6a?seed=2") // cache: {1, 2}
+	post(t, ts, "/run/fig6a?seed=3") // evicts 1 → {2, 3}
+	if calls != 3 {
+		t.Fatalf("3 distinct seeds ran %d times", calls)
+	}
+	if _, body := post(t, ts, "/run/fig6a?seed=3"); calls != 3 {
+		t.Errorf("seed 3 should be cached: %s", body)
+	}
+	post(t, ts, "/run/fig6a?seed=1") // evicted → recompute
+	if calls != 4 {
+		t.Errorf("evicted seed 1 not recomputed (calls=%d)", calls)
+	}
+
+	// Negative MaxCacheEntries disables caching entirely.
+	var calls2 int64
+	srv2 := New(Options{Run: countingRun(&calls2, false), MaxCacheEntries: -1})
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	post(t, ts2, "/run/fig6a?seed=1")
+	post(t, ts2, "/run/fig6a?seed=1")
+	if calls2 != 2 {
+		t.Errorf("caching disabled but runner ran %d times for 2 requests", calls2)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	var calls int64
+	srv := New(Options{Run: countingRun(&calls, true)})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code, _ := post(t, ts, "/run/doesnotexist"); code != http.StatusNotFound {
+		t.Errorf("unknown experiment: status %d, want 404", code)
+	}
+	if code, _ := post(t, ts, "/run/fig6a?seed=banana"); code != http.StatusBadRequest {
+		t.Errorf("bad seed: status %d, want 400", code)
+	}
+	code, body := post(t, ts, "/run/fig6a?seed=1")
+	if code != http.StatusInternalServerError {
+		t.Errorf("failing runner: status %d, want 500", code)
+	}
+	var e map[string]string
+	if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+		t.Errorf("error body not JSON: %s", body)
+	}
+	// Failures are cached too: a retry must not rerun the experiment.
+	if code, _ := post(t, ts, "/run/fig6a?seed=1"); code != http.StatusInternalServerError {
+		t.Error("cached failure lost")
+	}
+	if calls != 1 {
+		t.Errorf("failing experiment ran %d times, want 1 (errors are cached)", calls)
+	}
+	// Wrong method on a valid route.
+	if code, _ := get(t, ts, "/run/fig6a"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run: status %d, want 405", code)
+	}
+}
+
+func TestPanickingRunnerIsIsolated(t *testing.T) {
+	srv := New(Options{Run: func(id string, seed int64) (*exp.Report, error) {
+		panic("boom")
+	}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	code, body := post(t, ts, "/run/fig6a")
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	// The server must still answer subsequent requests.
+	if code, _ := get(t, ts, "/experiments"); code != http.StatusOK {
+		t.Error("server unusable after a panicking runner")
+	}
+}
+
+// TestRealExperimentRoundTrip runs one real (fast) experiment end to end
+// through the HTTP layer and checks the report against a direct run.
+func TestRealExperimentRoundTrip(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	code, body := post(t, ts, fmt.Sprintf("/run/fig13?seed=%d", 42))
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var resp runResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	direct, err := exp.Run("fig13", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := json.Marshal(direct)
+	got, _ := json.Marshal(resp.Report)
+	if string(want) != string(got) {
+		t.Error("served report differs from a direct exp.Run with the same seed")
+	}
+}
