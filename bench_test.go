@@ -5,6 +5,8 @@ package ichannels_test
 // `go test -bench=. -benchmem` doubles as the reproduction harness.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"ichannels"
@@ -201,6 +203,56 @@ func BenchmarkAblationThrottleFactor(b *testing.B) {
 	}
 	b.ReportMetric(quarter, "gap_1of4_cycles")
 	b.ReportMetric(eighth, "gap_1of8_cycles")
+}
+
+// Scenario API benchmarks: the perf trajectory of the single declarative
+// entry point and of batches at increasing parallelism.
+
+// BenchmarkRunScenario measures one scenario end to end (machine build,
+// calibration, 32-bit transmission) through the declarative entry point.
+func BenchmarkRunScenario(b *testing.B) {
+	var last *ichannels.ScenarioResult
+	for i := 0; i < b.N; i++ {
+		res, err := ichannels.RunScenario(context.Background(), ichannels.Scenario{
+			Role: "channel", Kind: "cores", Bits: 32, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ThroughputBPS, "channel_bps")
+}
+
+// BenchmarkRunScenariosBatch16 runs a fixed heterogeneous 16-scenario
+// batch (4 processors × {cross-core channel, same-thread channel,
+// cross-core spy, NetSpectre baseline}) at three pool sizes. The result
+// bytes are parallelism-invariant; only the wall clock moves.
+func BenchmarkRunScenariosBatch16(b *testing.B) {
+	var specs []ichannels.Scenario
+	for _, proc := range []string{"Cannon Lake", "Coffee Lake", "Haswell", "Skylake-SP"} {
+		specs = append(specs,
+			ichannels.Scenario{Role: "channel", Kind: "cores", Processor: proc, Bits: 16},
+			ichannels.Scenario{Role: "channel", Kind: "thread", Processor: proc, Bits: 16},
+			ichannels.Scenario{Role: "spy", Kind: "cores", Processor: proc, Bits: 8},
+			ichannels.Scenario{Role: "baseline", Baseline: "netspectre", Processor: proc, Bits: 8},
+		)
+	}
+	for _, par := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				batch, err := ichannels.RunScenarios(context.Background(), ichannels.ScenarioBatchOptions{
+					Scenarios: specs, BaseSeed: int64(i + 1), Parallel: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if failed := batch.Failed(); len(failed) > 0 {
+					b.Fatalf("%s: %v", failed[0].Scenario.Describe(), failed[0].Err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator performance:

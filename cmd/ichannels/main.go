@@ -8,7 +8,9 @@
 //	ichannels exp all [-seed N]         run every experiment serially
 //	ichannels run [ids...|--all] [-parallel N] [-seed N] [-json]
 //	                                    batch experiments on a worker pool
-//	ichannels serve [-addr HOST:PORT]   serve experiments over HTTP
+//	ichannels scenario run spec.json    run declarative scenario spec(s)
+//	ichannels scenario schema           print the scenario JSON schema
+//	ichannels serve [-addr HOST:PORT]   serve the scenario API over HTTP
 //	ichannels demo [-kind K] [-seed N]  transmit a message covertly
 //	ichannels spy [-seed N]             instruction-class inference demo
 package main
@@ -18,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -42,6 +45,8 @@ func main() {
 		err = runExp(os.Args[2:])
 	case "run":
 		err = runBatch(os.Args[2:])
+	case "scenario":
+		err = scenarioCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
 	case "demo":
@@ -68,7 +73,11 @@ func usage() {
   ichannels exp <id>|all [-seed N]    regenerate paper figures/tables (serial)
   ichannels run [ids...] [--all] [-parallel N] [-seed N] [-json]
                                       batch experiments on a worker pool
-  ichannels serve [-addr HOST:PORT]   HTTP API: GET /experiments, POST /run/{name}?seed=N
+  ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson]
+                                      run declarative scenario spec(s) (object or array per file)
+  ichannels scenario schema           print the scenario spec JSON schema
+  ichannels serve [-addr HOST:PORT]   HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
+                                      POST /v1/scenarios (+ legacy /experiments, /run/{name})
   ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -154,6 +163,117 @@ func runBatch(args []string) error {
 	return nil
 }
 
+// scenarioCmd dispatches the scenario subcommands.
+func scenarioCmd(args []string) error {
+	if len(args) < 1 {
+		return errors.New("scenario: missing subcommand (run or schema)")
+	}
+	switch args[0] {
+	case "schema":
+		_, err := os.Stdout.Write(ichannels.ScenarioSchemaJSON())
+		return err
+	case "run":
+		return scenarioRun(args[1:])
+	default:
+		return fmt.Errorf("scenario: unknown subcommand %q (run or schema)", args[0])
+	}
+}
+
+// scenarioRun loads one or more spec files (each a single scenario
+// object or an array) and executes them as one batch through the
+// engine. Results go to stdout (deterministic for a fixed seed,
+// regardless of -parallel); per-scenario timing goes to stderr.
+func scenarioRun(args []string) error {
+	fs := flag.NewFlagSet("scenario run", flag.ContinueOnError)
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+	seed := fs.Int64("seed", 1, "base seed (scenarios that pin no seed derive theirs from it)")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON batch instead of the comparison table")
+	ndjsonOut := fs.Bool("ndjson", false, "emit one JSON outcome per line (the HTTP v1 batch framing)")
+	// Accept file paths and flags in any order, like the run subcommand.
+	var files []string
+	rest := args
+	for len(rest) > 0 {
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			files = append(files, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if rest[0] == "-" { // stdin
+			files = append(files, "-")
+			rest = rest[1:]
+			continue
+		}
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if len(fs.Args()) == len(rest) {
+			return fmt.Errorf("scenario run: unexpected argument %q", rest[0])
+		}
+		rest = fs.Args()
+	}
+	if len(files) == 0 {
+		return errors.New("scenario run: no spec files given (pass paths or - for stdin)")
+	}
+	if *jsonOut && *ndjsonOut {
+		return errors.New("scenario run: give either -json or -ndjson, not both")
+	}
+
+	var specs []ichannels.Scenario
+	for _, f := range files {
+		var data []byte
+		var err error
+		if f == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(f)
+		}
+		if err != nil {
+			return fmt.Errorf("scenario run: %w", err)
+		}
+		loaded, err := decodeSpecs(data)
+		if err != nil {
+			return fmt.Errorf("scenario run: %s: %w", f, err)
+		}
+		specs = append(specs, loaded...)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	batch, err := ichannels.RunScenarios(ctx, ichannels.ScenarioBatchOptions{
+		Scenarios: specs, BaseSeed: *seed, Parallel: *parallel,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonOut:
+		err = batch.WriteJSON(os.Stdout)
+	case *ndjsonOut:
+		err = batch.WriteNDJSON(os.Stdout)
+	default:
+		err = batch.WriteText(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	batch.WriteTiming(os.Stderr)
+	if failed := batch.Failed(); len(failed) > 0 {
+		return fmt.Errorf("scenario run: %d of %d scenarios failed (first: %s: %v)",
+			len(failed), len(batch.Results), failed[0].Scenario.Describe(), failed[0].Err)
+	}
+	return nil
+}
+
+// decodeSpecs parses one spec file through the shared strict decoder
+// (the same one the HTTP v1 layer uses), so checked-in specs cannot
+// drift from the schema and CLI/wire accept identical payloads.
+func decodeSpecs(data []byte) ([]ichannels.Scenario, error) {
+	specs, _, err := ichannels.ParseScenarioSpecs(data)
+	return specs, err
+}
+
 // serveCmd runs the HTTP experiment server until interrupted.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
@@ -173,7 +293,7 @@ func serveCmd(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "ichannels: serving experiments on http://%s (GET /experiments, POST /run/{name}?seed=N)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "ichannels: serving the scenario API on http://%s (GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios)\n", ln.Addr())
 	select {
 	case err := <-errCh:
 		return err

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeSpecs(t *testing.T) {
+	if specs, err := decodeSpecs([]byte(`{"role":"channel","bits":8}`)); err != nil || len(specs) != 1 {
+		t.Errorf("single object: specs=%d err=%v", len(specs), err)
+	}
+	if specs, err := decodeSpecs([]byte(`[{"role":"channel"},{"role":"spy"}]`)); err != nil || len(specs) != 2 {
+		t.Errorf("array: specs=%d err=%v", len(specs), err)
+	}
+	for _, bad := range []string{
+		``,
+		`{"role":"channel","warp":1}`,      // unknown field
+		`{"role":"channel"}{"role":"spy"}`, // trailing object silently dropped before the fix
+		`[{"role":"channel"}] garbage`,     // trailing garbage after array
+	} {
+		if _, err := decodeSpecs([]byte(bad)); err == nil {
+			t.Errorf("%q: decoded but should fail", bad)
+		}
+	}
+	if _, err := decodeSpecs([]byte(`{"role":"a"}{"role":"b"}`)); err == nil || !strings.Contains(err.Error(), "trailing data") {
+		t.Errorf("concatenated objects: %v", err)
+	}
+}

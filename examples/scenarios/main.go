@@ -1,0 +1,80 @@
+// Command scenarios demonstrates the declarative Scenario API: it loads
+// the checked-in spec file sweeping the cross-core channel over all four
+// processor profiles × {no mitigation, per-core VRs}, executes the
+// whole sweep as one parallel batch via RunScenarios, and prints a
+// comparison table — the Table-1-style view, but assembled from
+// pure-JSON specs instead of bespoke Go call paths.
+//
+// The same spec file runs unchanged from the CLI
+// (ichannels scenario run examples/scenarios/specs/crosscore_mitigations.json)
+// and over HTTP (POST /v1/scenarios).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"ichannels"
+)
+
+func main() {
+	spec := flag.String("spec", "examples/scenarios/specs/crosscore_mitigations.json", "scenario spec file (JSON array)")
+	seed := flag.Int64("seed", 1, "base seed for scenarios that pin none")
+	flag.Parse()
+
+	data, err := os.ReadFile(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var specs []ichannels.Scenario
+	if err := json.Unmarshal(data, &specs); err != nil {
+		log.Fatal(err)
+	}
+
+	batch, err := ichannels.RunScenarios(context.Background(), ichannels.ScenarioBatchOptions{
+		Scenarios: specs, BaseSeed: *seed, Parallel: runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("IccCoresCovert under mitigation, %d scenarios in one batch:\n\n", len(batch.Results))
+	if err := batch.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Pivot: one row per processor, the per-core-VR defense against the
+	// unmitigated channel.
+	type cell struct {
+		ber, bps float64
+		verdict  string
+	}
+	pivot := map[string]map[string]cell{}
+	var procs []string
+	for _, r := range batch.Results {
+		if r.Err != nil {
+			log.Fatalf("%s: %v", r.Scenario.Describe(), r.Err)
+		}
+		p := r.Result.Processor
+		if pivot[p] == nil {
+			pivot[p] = map[string]cell{}
+			procs = append(procs, p)
+		}
+		pivot[p][r.Result.Mitigation] = cell{r.Result.BER, r.Result.ThroughputBPS, r.Result.Verdict}
+	}
+	fmt.Printf("\n%-14s  %-34s  %-34s\n", "processor", "no mitigation", "per-core VRs")
+	fmt.Printf("%-14s  %-34s  %-34s\n", "---------", "-------------", "------------")
+	for _, p := range procs {
+		none, vr := pivot[p]["none"], pivot[p]["percore-vr"]
+		fmt.Printf("%-14s  %-34s  %-34s\n", p,
+			fmt.Sprintf("%s (BER %.3f, %.0f b/s)", none.verdict, none.ber, none.bps),
+			fmt.Sprintf("%s (BER %.3f, %.0f b/s)", vr.verdict, vr.ber, vr.bps))
+	}
+	fmt.Println("\npaper §7 / Table 1: per-core VRs remove the cross-core serialization side-effect,")
+	fmt.Println("so IccCoresCovert collapses while the unmitigated channel decodes error-free.")
+}

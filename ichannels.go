@@ -18,9 +18,11 @@
 //     secure mode) and an evaluation harness;
 //   - runners that regenerate every figure and table of the paper's
 //     evaluation, a parallel batch engine that executes them on a worker
-//     pool with per-experiment derived seeds (RunExperiments), and an
-//     HTTP server with an (experiment, seed) result cache
-//     (NewExperimentServer).
+//     pool with per-experiment derived seeds (RunExperiments);
+//   - the Scenario API: one declarative, JSON-serializable spec for
+//     every run path above (RunScenario, RunScenarios), and an HTTP
+//     server exposing it as a versioned v1 API with a (scenario, seed)
+//     result cache (NewExperimentServer).
 //
 // Determinism is a hard guarantee throughout: for a fixed seed the
 // simulator, every experiment, and every batch (at any parallelism)
@@ -48,6 +50,7 @@ import (
 	"ichannels/internal/isa"
 	"ichannels/internal/mitigate"
 	"ichannels/internal/model"
+	"ichannels/internal/scenario"
 	"ichannels/internal/serve"
 	"ichannels/internal/soc"
 	"ichannels/internal/trace"
@@ -307,7 +310,71 @@ func RunExperiments(ctx context.Context, opts BatchOptions) (*ExperimentBatch, e
 // that experiment receives in a batch.
 func DeriveSeed(base int64, id string) int64 { return engine.DeriveSeed(base, id) }
 
-// NewExperimentServer returns an http.Handler exposing the experiment
-// registry: GET /experiments lists runners, POST /run/{name}?seed=N
-// executes one (results are cached per (experiment, seed)).
+// ---- Scenario API (v1): one declarative spec for every run ----
+
+// Scenario is the declarative, JSON-serializable description of one
+// run: an IChannels channel transmission, a baseline channel, the side
+// channel, a mitigation evaluation, or a registered experiment. The
+// same spec executes identically from Go (RunScenario), the CLI
+// (ichannels scenario run), and the wire (POST /v1/scenarios).
+type Scenario = scenario.Scenario
+
+// ScenarioResult is the normalized result envelope every scenario run
+// produces (decoded bits, throughput, BER, timing, per-role extras).
+type ScenarioResult = scenario.Result
+
+// ScenarioNoise, ScenarioCoding and ScenarioParams are the spec's
+// optional sub-objects.
+type (
+	ScenarioNoise  = scenario.Noise
+	ScenarioCoding = scenario.Coding
+	ScenarioParams = scenario.Params
+)
+
+// RunScenario validates and executes one scenario (spec seed, or
+// scenario.DefaultSeed when unset). For a fixed (spec, seed) the
+// result's JSON encoding is byte-identical across processes and
+// transports.
+func RunScenario(ctx context.Context, s Scenario) (*ScenarioResult, error) {
+	return scenario.Run(ctx, s)
+}
+
+// ScenarioBatchOptions configures a batch of scenarios on the engine's
+// worker pool.
+type ScenarioBatchOptions = engine.ScenarioOptions
+
+// ScenarioBatch is the outcome of a scenario batch run.
+type ScenarioBatch = engine.ScenarioBatch
+
+// RunScenarios executes scenarios on a worker pool with derived
+// per-scenario seeds. For a fixed BaseSeed the results are
+// byte-identical regardless of Parallel.
+func RunScenarios(ctx context.Context, opts ScenarioBatchOptions) (*ScenarioBatch, error) {
+	return engine.RunScenarios(ctx, opts)
+}
+
+// ScenarioFromExperiment wraps a registered experiment ID as a
+// Scenario (the canned generator for the figure/table registry).
+func ScenarioFromExperiment(id string) Scenario { return scenario.FromExperiment(id) }
+
+// AllExperimentScenarios returns one experiment-role Scenario per
+// registered experiment, in definition order.
+func AllExperimentScenarios() []Scenario { return scenario.AllExperiments() }
+
+// ScenarioSchemaJSON returns the machine-readable Scenario spec schema
+// (the payload of GET /v1/scenarios/schema).
+func ScenarioSchemaJSON() []byte { return scenario.SchemaJSON() }
+
+// ParseScenarioSpecs parses a JSON spec payload — one scenario object
+// or a non-empty array — rejecting unknown fields and trailing data.
+// The CLI and the HTTP v1 layer share this decoder, so a spec that one
+// accepts the other does too.
+func ParseScenarioSpecs(data []byte) (specs []Scenario, isArray bool, err error) {
+	return scenario.ParseSpecs(data)
+}
+
+// NewExperimentServer returns an http.Handler exposing the versioned
+// scenario API (GET /v1/experiments, GET /v1/scenarios/schema, POST
+// /v1/scenarios with a (scenario, seed) result cache) plus the
+// deprecated legacy routes GET /experiments and POST /run/{name}?seed=N.
 func NewExperimentServer() http.Handler { return serve.New(serve.Options{}).Handler() }

@@ -1,6 +1,7 @@
 package ichannels_test
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net/http/httptest"
@@ -144,5 +145,70 @@ func TestAgentAPI(t *testing.T) {
 	}
 	if m.Cores[0].ThrottleTime(m.Now()) <= 0 {
 		t.Fatal("PHI burst must have throttled the core")
+	}
+}
+
+// TestScenarioAPIExposed exercises the v1 Scenario surface end to end
+// the way a downstream user would: one declarative spec through the Go
+// entry point, a batch through the engine, and the same spec over HTTP
+// — all three producing byte-identical result JSON for a fixed seed.
+func TestScenarioAPIExposed(t *testing.T) {
+	spec := ichannels.Scenario{Role: "channel", Kind: "cores", Bits: 16, Seed: 5}
+
+	direct, err := ichannels.RunScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.BER != 0 || direct.ThroughputBPS <= 0 {
+		t.Errorf("quiet-machine channel run degraded: BER=%v bps=%v", direct.BER, direct.ThroughputBPS)
+	}
+
+	batch, err := ichannels.RunScenarios(context.Background(), ichannels.ScenarioBatchOptions{
+		Scenarios: []ichannels.Scenario{spec, ichannels.ScenarioFromExperiment("fig13")},
+		BaseSeed:  1, Parallel: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Failed()) != 0 {
+		t.Fatalf("batch failed: %v", batch.Failed()[0].Err)
+	}
+	wantJSON, _ := json.Marshal(direct)
+	gotJSON, _ := json.Marshal(batch.Results[0].Result)
+	if string(wantJSON) != string(gotJSON) {
+		t.Error("batch result differs from direct RunScenario for the same pinned seed")
+	}
+	if batch.Results[1].Result.Report == nil {
+		t.Error("experiment-role scenario returned no report")
+	}
+
+	ts := httptest.NewServer(ichannels.NewExperimentServer())
+	defer ts.Close()
+	body, _ := json.Marshal(spec)
+	resp, err := ts.Client().Post(ts.URL+"/v1/scenarios", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /v1/scenarios: status %d", resp.StatusCode)
+	}
+	var served struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	var typed ichannels.ScenarioResult
+	if err := json.Unmarshal(served.Result, &typed); err != nil {
+		t.Fatal(err)
+	}
+	renorm, _ := json.Marshal(&typed)
+	if string(renorm) != string(wantJSON) {
+		t.Errorf("HTTP result differs from direct RunScenario:\n%s\n%s", renorm, wantJSON)
+	}
+
+	if len(ichannels.ScenarioSchemaJSON()) == 0 || len(ichannels.AllExperimentScenarios()) == 0 {
+		t.Error("schema or experiment generators empty")
 	}
 }

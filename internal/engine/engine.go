@@ -1,16 +1,23 @@
-// Package engine orchestrates experiment execution. It runs any subset
-// of the experiments registered in internal/exp on a bounded worker pool,
-// with per-experiment derived seeds, wall-clock timing capture, panic
+// Package engine orchestrates batch execution on a bounded worker pool,
+// with per-item derived seeds, wall-clock timing capture, panic
 // isolation, and context cancellation. It is the seam batch execution
-// (cmd/ichannels run) and HTTP serving (internal/serve) build on.
+// (cmd/ichannels run / scenario run) and HTTP serving (internal/serve)
+// build on.
 //
-// Determinism contract: the report content of a Batch is a pure function
-// of (BaseSeed, IDs). The degree of parallelism affects only wall-clock
-// time — for a fixed base seed, a run with Parallel=N produces reports
-// byte-identical (both text and JSON renderings) to a serial run, because
-// every experiment receives the same derived seed (DeriveSeed) and the
-// simulator itself is deterministic for a fixed seed. Timing is captured
-// outside the reports so it never perturbs their bytes.
+// A batch is a list of scenarios (RunScenarios) — the general form — or,
+// for the legacy experiment-ID path, a list of registered experiment IDs
+// (Run). The registered figure experiments are themselves expressible as
+// scenarios (scenario.FromExperiment), so the scenario path subsumes the
+// experiment one.
+//
+// Determinism contract: the report/result content of a batch is a pure
+// function of (BaseSeed, items). The degree of parallelism affects only
+// wall-clock time — for a fixed base seed, a run with Parallel=N
+// produces results byte-identical (both text and JSON renderings) to a
+// serial run, because every item receives the same derived seed
+// (DeriveSeed / DeriveScenarioSeed) and the simulator itself is
+// deterministic for a fixed seed. Timing is captured outside the results
+// so it never perturbs their bytes.
 package engine
 
 import (
@@ -116,44 +123,59 @@ func Run(ctx context.Context, opts Options) (*Batch, error) {
 		}
 	}
 
-	workers := opts.Parallel
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(ids) {
-		workers = len(ids)
-	}
 	// Record the effective pool size, not the requested one, so JSON
 	// and timing output describe what actually ran.
-	b.Parallel = workers
+	b.Parallel = poolSize(opts.Parallel, len(ids))
 
 	start := time.Now()
+	runPool(b.Parallel, len(ids), func(i int) {
+		r := &b.Results[i]
+		if err := ctx.Err(); err != nil {
+			r.Err = err
+			return
+		}
+		t0 := time.Now()
+		r.Report, r.Err = RunIsolated(runFn, r.ID, r.Seed)
+		r.Elapsed = time.Since(t0)
+	})
+	b.Elapsed = time.Since(start)
+	return b, nil
+}
+
+// poolSize clamps a requested parallelism to [1, n].
+func poolSize(requested, n int) int {
+	if requested < 1 {
+		requested = 1
+	}
+	if requested > n {
+		requested = n
+	}
+	if requested < 1 {
+		requested = 1
+	}
+	return requested
+}
+
+// runPool executes work(0..n-1) on a pool of the given size and waits
+// for completion. The work function owns all error handling.
+func runPool(workers, n int, work func(i int)) {
 	idx := make(chan int)
 	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for i := range idx {
-				r := &b.Results[i]
-				if err := ctx.Err(); err != nil {
-					r.Err = err
-					continue
-				}
-				t0 := time.Now()
-				r.Report, r.Err = RunIsolated(runFn, r.ID, r.Seed)
-				r.Elapsed = time.Since(t0)
+				work(i)
 			}
 		}()
 	}
-	for i := range b.Results {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	for w := 0; w < workers; w++ {
 		<-done
 	}
-	b.Elapsed = time.Since(start)
-	return b, nil
 }
 
 // RunIsolated executes one experiment, converting a runner panic into an

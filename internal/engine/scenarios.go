@@ -1,0 +1,294 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"ichannels/internal/scenario"
+)
+
+// ScenarioRunFunc executes one scenario with an explicit seed. The
+// default wraps scenario.Runner; tests inject fakes.
+type ScenarioRunFunc func(ctx context.Context, s scenario.Scenario, seed int64) (*scenario.Result, error)
+
+// ScenarioOptions configures a scenario batch run.
+type ScenarioOptions struct {
+	// Scenarios is the batch, in request order.
+	Scenarios []scenario.Scenario
+	// BaseSeed is the batch's master seed: scenarios whose Seed is zero
+	// run with DeriveScenarioSeed(BaseSeed, spec), so the whole batch
+	// replays identically while distinct specs stay decorrelated. A
+	// non-zero spec Seed always wins (the spec is then fully pinned).
+	BaseSeed int64
+	// Parallel is the worker-pool size. Values below 1 mean serial.
+	Parallel int
+	// Run overrides the scenario executor (nil means scenario.Run).
+	Run ScenarioRunFunc
+	// OnResult, when set, is called as each scenario finishes (from the
+	// finishing worker's goroutine), with its batch index. The result
+	// slot is fully populated before the call. Used for streaming.
+	OnResult func(i int)
+}
+
+// ScenarioOutcome is one scenario's slot in a batch.
+type ScenarioOutcome struct {
+	// Scenario is the normalized spec that ran.
+	Scenario scenario.Scenario
+	// Seed is the effective seed (spec seed or derived).
+	Seed    int64
+	Result  *scenario.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// ScenarioBatch is the outcome of one scenario batch run. Outcomes are
+// in request order regardless of completion order.
+type ScenarioBatch struct {
+	BaseSeed int64
+	Parallel int
+	Results  []ScenarioOutcome
+	// Elapsed is the batch wall-clock time (nondeterministic; kept out
+	// of the per-result bytes).
+	Elapsed time.Duration
+}
+
+// DeriveScenarioSeed maps a batch base seed and a scenario to the seed
+// that scenario runs with when its spec pins none. Deriving from the
+// content hash makes the seed independent of batch order and
+// parallelism — part of the determinism contract. The result is always
+// positive so a reported seed can be pinned back into a spec
+// ("seed": N) and replayed: spec seeds are non-negative and zero means
+// "default".
+func DeriveScenarioSeed(base int64, s scenario.Scenario) int64 {
+	d := DeriveSeed(base, "scenario:"+s.Hash()) & math.MaxInt64
+	if d == 0 {
+		d = 1
+	}
+	return d
+}
+
+// RunScenarios executes a batch of scenarios on a worker pool. It
+// returns an error only for unrunnable requests (an invalid spec, which
+// would fail identically on every retry); individual run failures are
+// recorded per-outcome and do not stop the batch. Cancelling the
+// context abandons scenarios that have not started.
+func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, error) {
+	runFn := opts.Run
+	if runFn == nil {
+		runFn = func(ctx context.Context, s scenario.Scenario, seed int64) (*scenario.Result, error) {
+			return scenario.Runner{}.RunSeeded(ctx, s, seed)
+		}
+	}
+	b := &ScenarioBatch{
+		BaseSeed: opts.BaseSeed,
+		Results:  make([]ScenarioOutcome, len(opts.Scenarios)),
+	}
+	for i, s := range opts.Scenarios {
+		n := s.Normalized()
+		if err := n.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: scenarios[%d]: %w", i, err)
+		}
+		r := &b.Results[i]
+		r.Scenario = n
+		r.Seed = n.Seed
+		if r.Seed == 0 {
+			r.Seed = DeriveScenarioSeed(opts.BaseSeed, n)
+		}
+	}
+	b.Parallel = poolSize(opts.Parallel, len(b.Results))
+
+	start := time.Now()
+	runPool(b.Parallel, len(b.Results), func(i int) {
+		r := &b.Results[i]
+		if err := ctx.Err(); err != nil {
+			r.Err = err
+		} else {
+			t0 := time.Now()
+			r.Result, r.Err = runScenarioIsolated(ctx, runFn, r.Scenario, r.Seed)
+			r.Elapsed = time.Since(t0)
+		}
+		if opts.OnResult != nil {
+			opts.OnResult(i)
+		}
+	})
+	b.Elapsed = time.Since(start)
+	return b, nil
+}
+
+// runScenarioIsolated converts a runner panic into an error so one
+// broken scenario cannot take down a batch or a serving process.
+func runScenarioIsolated(ctx context.Context, run ScenarioRunFunc, s scenario.Scenario, seed int64) (res *scenario.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("engine: scenario %s panicked: %v", s.Hash(), p)
+		}
+	}()
+	return run(ctx, s, seed)
+}
+
+// Failed returns the outcomes whose runner returned an error (or was
+// cancelled), in batch order.
+func (b *ScenarioBatch) Failed() []ScenarioOutcome {
+	var out []ScenarioOutcome
+	for _, r := range b.Results {
+		if r.Err != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// scenarioOutcomeJSON is the wire form of one outcome. Timing and error
+// live outside the result object so the result bytes stay deterministic.
+type scenarioOutcomeJSON struct {
+	Scenario  scenario.Scenario `json:"scenario"`
+	Seed      int64             `json:"seed"`
+	ElapsedUS float64           `json:"elapsed_us"`
+	Error     string            `json:"error,omitempty"`
+	Result    *scenario.Result  `json:"result,omitempty"`
+}
+
+type scenarioBatchJSON struct {
+	BaseSeed  int64                 `json:"base_seed"`
+	Parallel  int                   `json:"parallel"`
+	ElapsedUS float64               `json:"elapsed_us"`
+	Failed    int                   `json:"failed"`
+	Results   []scenarioOutcomeJSON `json:"results"`
+}
+
+func (b *ScenarioBatch) outcomeJSON(i int) scenarioOutcomeJSON {
+	r := b.Results[i]
+	oj := scenarioOutcomeJSON{
+		Scenario:  r.Scenario,
+		Seed:      r.Seed,
+		ElapsedUS: float64(r.Elapsed) / float64(time.Microsecond),
+		Result:    r.Result,
+	}
+	if r.Err != nil {
+		oj.Error = r.Err.Error()
+	}
+	return oj
+}
+
+// WriteJSON writes the machine-readable batch encoding. The "result"
+// sub-objects are byte-identical across serial and parallel runs of the
+// same base seed; the surrounding timing fields are wall-clock and vary.
+func (b *ScenarioBatch) WriteJSON(w io.Writer) error {
+	out := scenarioBatchJSON{
+		BaseSeed:  b.BaseSeed,
+		Parallel:  b.Parallel,
+		ElapsedUS: float64(b.Elapsed) / float64(time.Microsecond),
+		Failed:    len(b.Failed()),
+		Results:   make([]scenarioOutcomeJSON, len(b.Results)),
+	}
+	for i := range b.Results {
+		out.Results[i] = b.outcomeJSON(i)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteNDJSON writes one outcome object per line (no indentation), the
+// same framing the HTTP v1 array endpoint streams.
+func (b *ScenarioBatch) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for i := range b.Results {
+		if err := enc.Encode(b.outcomeJSON(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText writes a comparison table of the batch: one row per
+// scenario with the normalized envelope's headline numbers, followed by
+// full report renderings for any experiment-role scenarios. The output
+// depends only on (BaseSeed, Scenarios).
+func (b *ScenarioBatch) WriteText(w io.Writer) error {
+	rows := [][]string{{"scenario", "role", "seed", "bits", "throughput (b/s)", "BER", "verdict/extra"}}
+	for i := range b.Results {
+		r := &b.Results[i]
+		if r.Err != nil {
+			rows = append(rows, []string{r.Scenario.Describe(), r.Scenario.Role, fmt.Sprint(r.Seed), "-", "-", "-", "ERROR: " + r.Err.Error()})
+			continue
+		}
+		res := r.Result
+		last := res.Verdict
+		if last == "" {
+			if acc, ok := res.Extra["accuracy"]; ok {
+				last = fmt.Sprintf("accuracy %.0f%%", acc*100)
+			} else if res.DecodedPayload != "" {
+				last = fmt.Sprintf("payload %q", res.DecodedPayload)
+			}
+		}
+		rows = append(rows, []string{
+			r.Scenario.Describe(), res.Role, fmt.Sprint(r.Seed),
+			fmt.Sprint(res.Bits), fmt.Sprintf("%.0f", res.ThroughputBPS),
+			fmt.Sprintf("%.3f", res.BER), last,
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			if i > 0 {
+				if _, err := fmt.Fprint(w, "  "); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%-*s", widths[i], c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if ri == 0 {
+			for i := range row {
+				if i > 0 {
+					fmt.Fprint(w, "  ")
+				}
+				fmt.Fprint(w, strings.Repeat("-", widths[i]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for i := range b.Results {
+		r := &b.Results[i]
+		if r.Err == nil && r.Result.Report != nil {
+			if _, err := fmt.Fprintf(w, "\n%s", r.Result.Report.String()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTiming writes a per-scenario wall-clock summary (intended for
+// stderr, keeping stdout deterministic).
+func (b *ScenarioBatch) WriteTiming(w io.Writer) {
+	for i := range b.Results {
+		r := &b.Results[i]
+		status := "ok"
+		if r.Err != nil {
+			status = "FAIL: " + r.Err.Error()
+		}
+		fmt.Fprintf(w, "%-40s %10.2fms  seed %-20d %s\n",
+			r.Scenario.Describe(), float64(r.Elapsed)/float64(time.Millisecond), r.Seed, status)
+	}
+	fmt.Fprintf(w, "%d scenarios, %d failed, parallel %d, %.2fms total\n",
+		len(b.Results), len(b.Failed()), b.Parallel,
+		float64(b.Elapsed)/float64(time.Millisecond))
+}

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"ichannels/internal/exp"
+	"ichannels/internal/model"
+)
+
+// ParseSpecs parses a JSON spec payload — one scenario object or a
+// non-empty array of them — rejecting unknown fields and trailing data
+// so specs cannot silently drift from the schema. It is the one decoder
+// the CLI and the HTTP v1 layer share. isArray reports which form the
+// payload used (the HTTP layer answers arrays with an NDJSON stream).
+func ParseSpecs(data []byte) (specs []Scenario, isArray bool, err error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, false, fmt.Errorf("empty spec; give a scenario object or array")
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if trimmed[0] == '[' {
+		isArray = true
+		if err := dec.Decode(&specs); err != nil {
+			return nil, true, err
+		}
+		if len(specs) == 0 {
+			return nil, true, fmt.Errorf("empty scenario array")
+		}
+	} else {
+		var s Scenario
+		if err := dec.Decode(&s); err != nil {
+			return nil, false, err
+		}
+		specs = []Scenario{s}
+	}
+	if dec.More() {
+		return nil, isArray, fmt.Errorf("trailing data after JSON value (did you mean a [...] array?)")
+	}
+	return specs, isArray, nil
+}
+
+// FromExperiment wraps a registered experiment ID as a Scenario, the
+// canned generator that lets the figure/table registry ride the same
+// batch and HTTP paths as ad-hoc scenarios.
+func FromExperiment(id string) Scenario {
+	return Scenario{Role: RoleExperiment, Experiment: id}
+}
+
+// AllExperiments returns one experiment-role Scenario per registered
+// experiment, in definition order.
+func AllExperiments() []Scenario {
+	ids := exp.IDs()
+	out := make([]Scenario, len(ids))
+	for i, id := range ids {
+		out[i] = FromExperiment(id)
+	}
+	return out
+}
+
+// Schema returns a machine-readable description of the Scenario spec —
+// a JSON-Schema-shaped document with the enums resolved against the
+// live registries (processors, experiments), served at GET
+// /v1/scenarios/schema so clients and docs cannot drift from the code.
+func Schema() map[string]any {
+	procs := []string{}
+	for _, p := range model.All() {
+		procs = append(procs, p.CodeName)
+	}
+	if x, err := model.ByName("Skylake-SP"); err == nil {
+		procs = append(procs, x.CodeName)
+	}
+	str := func(desc string, enum ...string) map[string]any {
+		m := map[string]any{"type": "string", "description": desc}
+		if len(enum) > 0 {
+			m["enum"] = enum
+		}
+		return m
+	}
+	num := func(t, desc string) map[string]any {
+		return map[string]any{"type": t, "description": desc}
+	}
+	return map[string]any{
+		"$schema":     "https://json-schema.org/draft/2020-12/schema",
+		"$id":         "ichannels/v1/scenario",
+		"title":       "Scenario",
+		"description": "One declarative run spec: POST a single object or an array of them to /v1/scenarios.",
+		"type":        "object",
+		"required":    []string{"role"},
+		"properties": map[string]any{
+			"name": str("optional label echoed into the result; not part of the scenario's identity"),
+			"role": str("run path", RoleChannel, RoleBaseline, RoleSpy, RoleMitigation, RoleExperiment),
+			"processor": str("simulated part, marketing or code name (default \""+DefaultProcessor+"\")",
+				procs...),
+			"kind": str("channel variant: thread/smt/cores for channel and mitigation-eval (default cores), smt/cores for spy (default smt)",
+				KindThread, KindSMT, KindCores),
+			"baseline": str("comparison channel for role baseline",
+				BaselineNetSpectre, BaselineTurboCC, BaselineDFScovert, BaselinePowerT),
+			"mitigation": str("defense for role mitigation-eval (default none)",
+				MitigationNone, MitigationPerCoreVR, MitigationImprovedThrottling, MitigationSecureMode),
+			"experiment": str("registered experiment id for role experiment", exp.IDs()...),
+			"noise": map[string]any{
+				"type":        "object",
+				"description": "OS noise injection; absent = quiet machine (rejected by mitigation-eval, which has its own noise env)",
+				"properties": map[string]any{
+					"interrupts_per_sec":   num("number", "machine-wide interrupt arrival rate"),
+					"ctx_switches_per_sec": num("number", "context-switch arrival rate"),
+					"tsc_jitter_cycles":    num("integer", "uniform [0,n) rdtsc measurement jitter"),
+				},
+			},
+			"coding": map[string]any{
+				"type":        "object",
+				"description": "Hamming(7,4)+interleave+CRC framing of the payload (role channel)",
+				"properties": map[string]any{
+					"interleave_depth": num("integer", "bit interleaver depth (default 7)"),
+				},
+			},
+			"bits":    num("integer", "pseudo-random payload bits, even, ≤ 8192 (role defaults: channel 64, spy 32, netspectre 64, turbocc 12, dfscovert 10, powert 24, mitigation-eval 64)"),
+			"payload": num("string", "literal payload instead of random bits (roles channel/baseline, ≤ 255 bytes)"),
+			"seed":    num("integer", "simulation seed; 0 means default (1 for single runs, derived from the batch base seed otherwise)"),
+			"params": map[string]any{
+				"type":        "object",
+				"description": "tuning overrides; zero values keep the per-processor defaults. Fields a role would ignore are rejected: the slot/iteration knobs are channel-only, and mitigation-eval accepts only cores.",
+				"properties": map[string]any{
+					"slot_period_us":     num("number", "covert transaction cycle (role channel only)"),
+					"sender_iters":       num("integer", "sender PHI-loop iterations (role channel only)"),
+					"receiver_iters":     num("integer", "receiver measurement-loop iterations (role channel only)"),
+					"receiver_offset_us": num("number", "receiver measurement offset in the slot (role channel only)"),
+					"freq_ghz":           num("number", "requested operating point (default: base frequency; turbocc: max Turbo; not mitigation-eval)"),
+					"cores":              num("integer", "instantiated cores (default 2)"),
+					"calib_reps":         num("integer", "calibration repetitions per symbol/width/pair (not mitigation-eval)"),
+				},
+			},
+		},
+	}
+}
+
+// SchemaJSON renders Schema as indented JSON.
+func SchemaJSON() []byte {
+	b, err := json.MarshalIndent(Schema(), "", "  ")
+	if err != nil {
+		panic("scenario: schema marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}

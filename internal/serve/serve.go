@@ -1,42 +1,82 @@
-// Package serve exposes the experiment registry over HTTP so a fleet of
-// clients can request figure/table regenerations without shelling out to
+// Package serve exposes the scenario engine over a versioned HTTP/JSON
+// API so a fleet of clients can request arbitrary simulated runs — not
+// just the pre-registered figure experiments — without shelling out to
 // the CLI:
 //
-//	GET  /experiments        list registered experiments (id, section, desc)
-//	POST /run/{name}?seed=N  run one experiment with an explicit seed
+//	GET  /v1/experiments       list registered experiments (id, section, desc)
+//	GET  /v1/scenarios/schema  machine-readable Scenario spec schema
+//	POST /v1/scenarios         run one scenario (JSON object) or a batch
+//	                           (JSON array; the response streams NDJSON,
+//	                           one outcome line per scenario, in order)
 //
-// Results are cached in memory keyed by (experiment, seed). Because the
-// simulator is deterministic for a fixed seed (see docs/ARCHITECTURE.md),
-// a cached report is bit-for-bit the report a fresh run would produce, so
-// repeated requests are served without recomputation. Concurrent requests
-// for the same key are coalesced: only the first computes, the rest wait
-// for its result. Runner errors are cached too — they are equally
-// deterministic — so a failing (experiment, seed) pair does not burn CPU
-// on every retry. The cache is bounded (Options.MaxCacheEntries, FIFO
-// eviction) so seed sweeps cannot grow the process without limit.
+// Errors carry a structured envelope {code, message} (plus a legacy
+// "error" field). Mutating routes enforce method and Content-Type
+// (application/json); malformed seed query values are rejected with
+// HTTP 400.
+//
+// The legacy PR-1 routes are kept as thin shims over the same cache and
+// are deprecated in favor of /v1:
+//
+//	GET  /experiments        → GET /v1/experiments
+//	POST /run/{name}?seed=N  → POST /v1/scenarios with
+//	                           {"role":"experiment","experiment":name,"seed":N}
+//
+// Results are cached in memory keyed by (scenario hash, seed) — the
+// generalization of PR 1's (experiment, seed) key. Because the
+// simulator is deterministic for a fixed seed (see docs/ARCHITECTURE.md)
+// a cached result is bit-for-bit the result a fresh run would produce,
+// so repeated requests are served without recomputation. Concurrent
+// requests for the same key are coalesced: only the first computes, the
+// rest wait for its result — including across items of one batch and
+// across unrelated clients. Runner errors are cached too — they are
+// equally deterministic — so a failing (scenario, seed) pair does not
+// burn CPU on every retry. The cache is bounded
+// (Options.MaxCacheEntries, FIFO eviction) so seed sweeps cannot grow
+// the process without limit.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"ichannels/internal/engine"
 	"ichannels/internal/exp"
+	"ichannels/internal/scenario"
 )
 
 // DefaultMaxCacheEntries bounds the result cache when Options leaves
 // MaxCacheEntries zero.
 const DefaultMaxCacheEntries = 1024
 
+// MaxBatchScenarios bounds one POST /v1/scenarios array.
+const MaxBatchScenarios = 256
+
+// maxBodyBytes bounds one request body.
+const maxBodyBytes = 4 << 20
+
+// Error codes of the structured error envelope.
+const (
+	CodeBadRequest        = "bad_request"
+	CodeInvalidScenario   = "invalid_scenario"
+	CodeUnknownExperiment = "unknown_experiment"
+	CodeMethodNotAllowed  = "method_not_allowed"
+	CodeUnsupportedMedia  = "unsupported_media_type"
+	CodeTooLarge          = "payload_too_large"
+	CodeRunFailed         = "run_failed"
+)
+
 // Options configures a Server.
 type Options struct {
-	// Run overrides the experiment executor (nil means exp.Run).
+	// Run overrides the experiment executor (nil means exp.Run) for
+	// both the legacy /run/{name} route and experiment-role scenarios.
 	// Injected by tests to observe cache behavior.
 	Run engine.RunFunc
 	// MaxCacheEntries bounds the result cache; when full, the oldest
@@ -51,9 +91,10 @@ type Options struct {
 	MaxConcurrent int
 }
 
-// Server runs experiments on demand and caches their reports.
+// Server runs scenarios on demand and caches their results.
 type Server struct {
-	run      engine.RunFunc
+	run      engine.RunFunc  // legacy experiment executor
+	runner   scenario.Runner // scenario executor (ExpRun wired to run)
 	maxCache int
 	sem      chan struct{} // nil = unbounded; else bounds running simulations
 
@@ -64,22 +105,39 @@ type Server struct {
 	misses int64
 }
 
+// cacheKey identifies one deterministic result: the scenario's content
+// hash plus the effective seed. Legacy experiment runs use the reserved
+// "exp:" prefix so they share the cache without colliding with spec
+// hashes (which are fixed-width hex).
 type cacheKey struct {
-	ID   string
+	Hash string
 	Seed int64
 }
 
 // cacheEntry coalesces concurrent computations of one key: the entry is
-// published under the mutex, the computation runs exactly once. done
-// flips after the computation finishes so eviction can skip in-flight
+// published under the mutex, the computation runs exactly once, and
+// ready is closed when it finishes so any number of waiters (including
+// NDJSON batch writers) can block on it. Eviction skips in-flight
 // entries (evicting one would let a concurrent identical request start
 // a duplicate simulation).
 type cacheEntry struct {
 	once    sync.Once
-	done    atomic.Bool
-	report  *exp.Report
+	ready   chan struct{}
+	result  *scenario.Result
 	err     error
 	elapsed time.Duration
+}
+
+func newCacheEntry() *cacheEntry { return &cacheEntry{ready: make(chan struct{})} }
+
+// done reports whether the computation has finished.
+func (e *cacheEntry) done() bool {
+	select {
+	case <-e.ready:
+		return true
+	default:
+		return false
+	}
 }
 
 // New builds a Server.
@@ -99,12 +157,24 @@ func New(opts Options) *Server {
 	case c > 0:
 		sem = make(chan struct{}, c)
 	}
-	return &Server{run: run, maxCache: maxCache, sem: sem, cache: map[cacheKey]*cacheEntry{}}
+	return &Server{
+		run:      run,
+		runner:   scenario.Runner{ExpRun: run},
+		maxCache: maxCache,
+		sem:      sem,
+		cache:    map[cacheKey]*cacheEntry{},
+	}
 }
 
 // Handler returns the HTTP routing for the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// v1 routes do their own method checks so 405s carry the
+	// structured error envelope.
+	mux.HandleFunc("/v1/experiments", s.v1Experiments)
+	mux.HandleFunc("/v1/scenarios/schema", s.v1Schema)
+	mux.HandleFunc("/v1/scenarios", s.v1Scenarios)
+	// Legacy shims (deprecated; see the package comment).
 	mux.HandleFunc("GET /experiments", s.handleList)
 	mux.HandleFunc("POST /run/{name}", s.handleRun)
 	return mux
@@ -118,6 +188,71 @@ func (s *Server) CacheStats() (hits, misses int64) {
 	return s.hits, s.misses
 }
 
+// entry returns the cache entry for key, creating (and publishing) it
+// if absent. cached reports whether the result was already complete
+// when the request arrived — the condition under which the response is
+// marked served-from-cache; a coalesced waiter on an in-flight entry
+// still pays the compute wall-clock.
+func (s *Server) entry(key cacheKey) (ent *cacheEntry, cached bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ent, hit := s.cache[key]
+	cached = hit && ent != nil && ent.done()
+	if hit {
+		s.hits++
+		return ent, cached
+	}
+	s.misses++
+	ent = newCacheEntry()
+	if s.maxCache > 0 {
+		// Evict oldest completed entries; in-flight ones are skipped
+		// (the cap may be exceeded transiently, bounded by
+		// MaxConcurrent plus waiters).
+		for len(s.cache) >= s.maxCache {
+			evicted := false
+			for i, k := range s.order {
+				if e := s.cache[k]; e != nil && e.done() {
+					s.order = append(s.order[:i:i], s.order[i+1:]...)
+					delete(s.cache, k)
+					evicted = true
+					break
+				}
+			}
+			if !evicted {
+				break
+			}
+		}
+		s.cache[key] = ent
+		s.order = append(s.order, key)
+	}
+	return ent, false
+}
+
+// compute runs fn into ent exactly once, bounded by the simulation
+// semaphore, and wakes all waiters.
+func (s *Server) compute(ent *cacheEntry, fn func() (*scenario.Result, error)) {
+	ent.once.Do(func() {
+		if s.sem != nil {
+			s.sem <- struct{}{}
+			defer func() { <-s.sem }()
+		}
+		t0 := time.Now()
+		ent.result, ent.err = fn()
+		ent.elapsed = time.Since(t0)
+		close(ent.ready)
+	})
+}
+
+// ---- wire envelopes ----
+
+// errorBody is the structured error envelope. The legacy "error" field
+// duplicates Message for PR-1 clients.
+type errorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Legacy  string `json:"error"`
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -126,16 +261,274 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func errBody(code, format string, args ...any) *errorBody {
+	msg := fmt.Sprintf(format, args...)
+	return &errorBody{Code: code, Message: msg, Legacy: msg}
 }
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errBody(code, format, args...))
+}
+
+// parseSeed extracts an optional integer seed query value, rejecting
+// malformed or conflicting values instead of silently defaulting.
+func parseSeed(r *http.Request) (seed int64, set bool, err error) {
+	vals := r.URL.Query()["seed"]
+	if len(vals) == 0 {
+		return 0, false, nil
+	}
+	for _, v := range vals[1:] {
+		if v != vals[0] {
+			return 0, false, fmt.Errorf("conflicting seed values %q and %q", vals[0], v)
+		}
+	}
+	seed, perr := strconv.ParseInt(vals[0], 10, 64)
+	if perr != nil {
+		return 0, false, fmt.Errorf("bad seed %q: must be an integer", vals[0])
+	}
+	return seed, true, nil
+}
+
+// requireJSON enforces the Content-Type of mutating routes.
+func requireJSON(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	mt, _, err := mime.ParseMediaType(ct)
+	if ct == "" || err != nil || mt != "application/json" {
+		writeError(w, http.StatusUnsupportedMediaType, CodeUnsupportedMedia,
+			"Content-Type must be application/json, got %q", ct)
+		return false
+	}
+	return true
+}
+
+// methodOnly enforces one HTTP method with a structured 405.
+func methodOnly(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"%s %s not allowed; use %s", r.Method, r.URL.Path, method)
+		return false
+	}
+	return true
+}
+
+// ---- v1 handlers ----
+
+func (s *Server) v1Experiments(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, exp.Experiments())
+}
+
+func (s *Server) v1Schema(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(scenario.SchemaJSON())
+}
+
+// scenarioResponse is the wire form of one scenario run. The result
+// object is the deterministic payload; name/cached/elapsed_us are
+// serving metadata (the name is the requester's label — results are
+// shared through the cache, so the label lives here, not in them).
+type scenarioResponse struct {
+	Name      string           `json:"name,omitempty"`
+	Hash      string           `json:"hash"`
+	Seed      int64            `json:"seed"`
+	Cached    bool             `json:"cached"`
+	ElapsedUS float64          `json:"elapsed_us"`
+	Result    *scenario.Result `json:"result"`
+}
+
+// scenarioLine is one NDJSON line of a batch response. Exactly one of
+// Error and Result is set.
+type scenarioLine struct {
+	Index     int              `json:"index"`
+	Name      string           `json:"name,omitempty"`
+	Hash      string           `json:"hash"`
+	Seed      int64            `json:"seed"`
+	Cached    bool             `json:"cached"`
+	ElapsedUS float64          `json:"elapsed_us"`
+	Error     *errorBody       `json:"error,omitempty"`
+	Result    *scenario.Result `json:"result,omitempty"`
+}
+
+// v1Scenarios accepts a single Scenario object or an array of them.
+func (s *Server) v1Scenarios(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodPost) {
+		return
+	}
+	if !requireJSON(w, r) {
+		return
+	}
+	querySeed, seedSet, err := parseSeed(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	// Scenario seeds are non-negative (spec rule); a query seed must
+	// not smuggle in values no valid spec could reproduce. Zero means
+	// "default", exactly like a spec's seed field.
+	if seedSet && querySeed < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "seed must be non-negative, got %d", querySeed)
+		return
+	}
+	if seedSet && querySeed == 0 {
+		seedSet = false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			"request body exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	specs, isArray, err := scenario.ParseSpecs(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding scenarios: %v (see /v1/scenarios/schema)", err)
+		return
+	}
+	if isArray {
+		s.runBatch(w, r, specs, querySeed, seedSet)
+		return
+	}
+	n := specs[0].Normalized()
+	if err := n.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidScenario, "%v", err)
+		return
+	}
+	seed := n.Seed
+	if seed == 0 {
+		seed = scenario.DefaultSeed
+		if seedSet {
+			seed = querySeed
+		}
+	}
+	hash := n.Hash()
+	ent, cached := s.entry(cacheKey{Hash: hash, Seed: seed})
+	s.compute(ent, func() (*scenario.Result, error) {
+		return s.runScenarioIsolated(r, n, seed)
+	})
+	if ent.err != nil {
+		writeError(w, http.StatusInternalServerError, CodeRunFailed,
+			"%s (seed %d): %v", n.Describe(), seed, ent.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, scenarioResponse{
+		Name: n.Name, Hash: hash, Seed: seed, Cached: cached,
+		ElapsedUS: float64(ent.elapsed) / float64(time.Microsecond),
+		Result:    ent.result,
+	})
+}
+
+// runBatch executes a scenario array and streams NDJSON outcomes in
+// request order as they complete.
+func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, specs []scenario.Scenario, querySeed int64, seedSet bool) {
+	if len(specs) > MaxBatchScenarios {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"batch of %d scenarios exceeds the limit of %d", len(specs), MaxBatchScenarios)
+		return
+	}
+	baseSeed := int64(scenario.DefaultSeed)
+	if seedSet {
+		baseSeed = querySeed
+	}
+	// Validate everything up front: a malformed batch fails whole,
+	// before any simulation runs.
+	type item struct {
+		spec   scenario.Scenario
+		hash   string
+		seed   int64
+		ent    *cacheEntry
+		cached bool
+	}
+	items := make([]item, len(specs))
+	for i, spec := range specs {
+		n := spec.Normalized()
+		if err := n.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, CodeInvalidScenario, "scenarios[%d]: %v", i, err)
+			return
+		}
+		items[i].spec = n
+		items[i].hash = n.Hash()
+		items[i].seed = n.Seed
+		if items[i].seed == 0 {
+			items[i].seed = engine.DeriveScenarioSeed(baseSeed, n)
+		}
+	}
+	// Publish all entries first so duplicates inside the batch coalesce,
+	// then compute concurrently (bounded by the simulation semaphore).
+	for i := range items {
+		items[i].ent, items[i].cached = s.entry(cacheKey{Hash: items[i].hash, Seed: items[i].seed})
+	}
+	for i := range items {
+		it := items[i]
+		go s.compute(it.ent, func() (*scenario.Result, error) {
+			return s.runScenarioIsolated(r, it.spec, it.seed)
+		})
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for i := range items {
+		it := items[i]
+		select {
+		case <-it.ent.ready:
+		case <-r.Context().Done():
+			// Client went away; in-flight computations still complete
+			// into the cache for the next request.
+			return
+		}
+		line := scenarioLine{
+			Index: i, Name: it.spec.Name, Hash: it.hash, Seed: it.seed, Cached: it.cached,
+			ElapsedUS: float64(it.ent.elapsed) / float64(time.Microsecond),
+		}
+		if it.ent.err != nil {
+			line.Error = errBody(CodeRunFailed, "%s (seed %d): %v", it.spec.Describe(), it.seed, it.ent.err)
+		} else {
+			line.Result = it.ent.result
+		}
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// runScenarioIsolated executes one scenario with panic isolation. The
+// computation is detached from the request's cancellation (the values
+// are kept): entries are shared across requests, so a client that
+// disconnects mid-run must not poison the cache with a context error
+// that later, healthy clients would then be served. The simulation is
+// short and completes into the cache either way — exactly what a
+// retrying client wants.
+func (s *Server) runScenarioIsolated(r *http.Request, n scenario.Scenario, seed int64) (res *scenario.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("scenario %s panicked: %v", n.Hash(), p)
+		}
+	}()
+	return s.runner.RunSeeded(context.WithoutCancel(r.Context()), n, seed)
+}
+
+// ---- legacy shims ----
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, exp.Experiments())
 }
 
-// runResponse is the wire form of one run. The report object is the
-// deterministic payload; cached/elapsed_us are serving metadata.
+// runResponse is the legacy wire form of one experiment run. The report
+// object is the deterministic payload; cached/elapsed_us are serving
+// metadata.
 type runResponse struct {
 	ID        string      `json:"id"`
 	Section   string      `json:"section,omitempty"`
@@ -146,77 +539,40 @@ type runResponse struct {
 	Report    *exp.Report `json:"report"`
 }
 
+// handleRun is the legacy single-experiment route. It shares the
+// scenario cache under the reserved "exp:" key prefix.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	e, ok := exp.Lookup(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown experiment %q", name)
+		writeError(w, http.StatusNotFound, CodeUnknownExperiment, "unknown experiment %q", name)
 		return
 	}
-	seed := int64(1)
-	if q := r.URL.Query().Get("seed"); q != "" {
-		var err error
-		if seed, err = strconv.ParseInt(q, 10, 64); err != nil {
-			writeError(w, http.StatusBadRequest, "bad seed %q: must be an integer", q)
-			return
-		}
+	seed, set, err := parseSeed(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if !set {
+		seed = 1
 	}
 
-	key := cacheKey{ID: name, Seed: seed}
-	s.mu.Lock()
-	ent, hit := s.cache[key]
-	// A request only counts as served-from-cache if the result already
-	// existed when it arrived; a coalesced waiter on an in-flight entry
-	// still pays the compute wall-clock.
-	cached := hit && ent != nil && ent.done.Load()
-	if hit {
-		s.hits++
-	} else {
-		s.misses++
-		ent = &cacheEntry{}
-		if s.maxCache > 0 {
-			// Evict oldest completed entries; in-flight ones are
-			// skipped (the cap may be exceeded transiently, bounded
-			// by MaxConcurrent plus waiters).
-			for len(s.cache) >= s.maxCache {
-				evicted := false
-				for i, k := range s.order {
-					if e := s.cache[k]; e != nil && e.done.Load() {
-						s.order = append(s.order[:i:i], s.order[i+1:]...)
-						delete(s.cache, k)
-						evicted = true
-						break
-					}
-				}
-				if !evicted {
-					break
-				}
-			}
-			s.cache[key] = ent
-			s.order = append(s.order, key)
+	ent, cached := s.entry(cacheKey{Hash: "exp:" + name, Seed: seed})
+	s.compute(ent, func() (*scenario.Result, error) {
+		rep, err := engine.RunIsolated(s.run, name, seed)
+		if err != nil {
+			return nil, err
 		}
-	}
-	s.mu.Unlock()
-
-	ent.once.Do(func() {
-		if s.sem != nil {
-			s.sem <- struct{}{}
-			defer func() { <-s.sem }()
-		}
-		t0 := time.Now()
-		ent.report, ent.err = engine.RunIsolated(s.run, name, seed)
-		ent.elapsed = time.Since(t0)
-		ent.done.Store(true)
+		return &scenario.Result{Role: scenario.RoleExperiment, Experiment: name, Seed: seed, Report: rep}, nil
 	})
-
 	if ent.err != nil {
-		writeError(w, http.StatusInternalServerError, "%s (seed %d): %v", name, seed, ent.err)
+		writeError(w, http.StatusInternalServerError, CodeRunFailed, "%s (seed %d): %v", name, seed, ent.err)
 		return
 	}
 	writeJSON(w, http.StatusOK, runResponse{
 		ID: name, Section: e.Section, Desc: e.Desc, Seed: seed,
 		Cached:    cached,
 		ElapsedUS: float64(ent.elapsed) / float64(time.Microsecond),
-		Report:    ent.report,
+		Report:    ent.result.Report,
 	})
 }
