@@ -7,6 +7,7 @@ package ichannels_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 
 	"ichannels"
@@ -253,6 +254,72 @@ func BenchmarkRunScenariosBatch16(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamScenarios measures the streaming execution core — the
+// path every sweep cell takes — over a 32-cell grid with a bounded
+// reorder window, at two pool sizes. Run with -benchmem: the RunScenario
+// hot path's preallocation work (measurement/decode slices sized from
+// the schedule) shows up directly in B/op and allocs/op here.
+func BenchmarkStreamScenarios(b *testing.B) {
+	grid := func() func() (ichannels.Scenario, bool) {
+		procs := []string{"Cannon Lake", "Coffee Lake", "Haswell", "Skylake-SP"}
+		i := 0
+		return func() (ichannels.Scenario, bool) {
+			if i >= 32 {
+				return ichannels.Scenario{}, false
+			}
+			s := ichannels.Scenario{
+				Role: "channel", Kind: "cores",
+				Processor: procs[i%len(procs)],
+				Bits:      8 + 2*(i/len(procs)),
+			}
+			i++
+			return s, true
+		}
+	}
+	for _, par := range []int{1, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats, err := ichannels.StreamScenarios(context.Background(), ichannels.ScenarioStreamOptions{
+					Next: grid(), BaseSeed: int64(i + 1), Parallel: par, Window: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Emitted != 32 || stats.Failed != 0 {
+					b.Fatalf("stream stats %+v", stats)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepTable6 runs the checked-in Table-6-style grid (88 cells
+// post-filter) end to end: lazy expansion, streaming execution, grouped
+// aggregation.
+func BenchmarkSweepTable6(b *testing.B) {
+	data, err := os.ReadFile("examples/sweeps/specs/table6_processor_mitigation.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *ichannels.SweepResult
+	for i := 0; i < b.N; i++ {
+		res, err = ichannels.RunSweep(context.Background(), sw, ichannels.SweepOptions{
+			BaseSeed: int64(i + 1), Parallel: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d cells failed", res.Failed)
+		}
+	}
+	b.ReportMetric(float64(len(res.Cells)), "cells")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator performance:

@@ -10,6 +10,9 @@
 //	                                    batch experiments on a worker pool
 //	ichannels scenario run spec.json    run declarative scenario spec(s)
 //	ichannels scenario schema           print the scenario JSON schema
+//	ichannels sweep run sweep.json      expand and run a parameter grid
+//	ichannels sweep expand sweep.json   print a grid's expanded cells
+//	ichannels sweep schema              print the sweep JSON schema
 //	ichannels serve [-addr HOST:PORT]   serve the scenario API over HTTP
 //	ichannels demo [-kind K] [-seed N]  transmit a message covertly
 //	ichannels spy [-seed N]             instruction-class inference demo
@@ -17,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -47,6 +51,8 @@ func main() {
 		err = runBatch(os.Args[2:])
 	case "scenario":
 		err = scenarioCmd(os.Args[2:])
+	case "sweep":
+		err = sweepCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
 	case "demo":
@@ -76,8 +82,14 @@ func usage() {
   ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson]
                                       run declarative scenario spec(s) (object or array per file)
   ichannels scenario schema           print the scenario spec JSON schema
+  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson]
+                                      expand a parameter grid and run it (streaming, grouped aggregate)
+  ichannels sweep expand <sweep.json|-> [-json]
+                                      print a grid's expanded cells without running them
+  ichannels sweep schema              print the sweep spec JSON schema
   ichannels serve [-addr HOST:PORT]   HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
-                                      POST /v1/scenarios (+ legacy /experiments, /run/{name})
+                                      POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema
+                                      (+ legacy /experiments, /run/{name})
   ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -179,6 +191,31 @@ func scenarioCmd(args []string) error {
 	}
 }
 
+// splitFilesAndFlags separates positional file paths ("-" = stdin) from
+// flags, accepting them in any order, and parses the flags into fs —
+// the one arg loop the scenario and sweep subcommands share.
+func splitFilesAndFlags(cmd string, args []string, fs *flag.FlagSet) ([]string, error) {
+	var files []string
+	rest := args
+	for len(rest) > 0 {
+		for len(rest) > 0 && (!strings.HasPrefix(rest[0], "-") || rest[0] == "-") {
+			files = append(files, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		if len(fs.Args()) == len(rest) {
+			return nil, fmt.Errorf("%s: unexpected argument %q", cmd, rest[0])
+		}
+		rest = fs.Args()
+	}
+	return files, nil
+}
+
 // scenarioRun loads one or more spec files (each a single scenario
 // object or an array) and executes them as one batch through the
 // engine. Results go to stdout (deterministic for a fixed seed,
@@ -189,29 +226,9 @@ func scenarioRun(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed (scenarios that pin no seed derive theirs from it)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON batch instead of the comparison table")
 	ndjsonOut := fs.Bool("ndjson", false, "emit one JSON outcome per line (the HTTP v1 batch framing)")
-	// Accept file paths and flags in any order, like the run subcommand.
-	var files []string
-	rest := args
-	for len(rest) > 0 {
-		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
-			files = append(files, rest[0])
-			rest = rest[1:]
-		}
-		if len(rest) == 0 {
-			break
-		}
-		if rest[0] == "-" { // stdin
-			files = append(files, "-")
-			rest = rest[1:]
-			continue
-		}
-		if err := fs.Parse(rest); err != nil {
-			return err
-		}
-		if len(fs.Args()) == len(rest) {
-			return fmt.Errorf("scenario run: unexpected argument %q", rest[0])
-		}
-		rest = fs.Args()
+	files, err := splitFilesAndFlags("scenario run", args, fs)
+	if err != nil {
+		return err
 	}
 	if len(files) == 0 {
 		return errors.New("scenario run: no spec files given (pass paths or - for stdin)")
@@ -274,6 +291,131 @@ func decodeSpecs(data []byte) ([]ichannels.Scenario, error) {
 	return specs, err
 }
 
+// sweepCmd dispatches the sweep subcommands.
+func sweepCmd(args []string) error {
+	if len(args) < 1 {
+		return errors.New("sweep: missing subcommand (run, expand, or schema)")
+	}
+	switch args[0] {
+	case "schema":
+		_, err := os.Stdout.Write(ichannels.SweepSchemaJSON())
+		return err
+	case "run":
+		return sweepRun(args[1:])
+	case "expand":
+		return sweepExpand(args[1:])
+	default:
+		return fmt.Errorf("sweep: unknown subcommand %q (run, expand, or schema)", args[0])
+	}
+}
+
+// loadSweep reads and strictly decodes one sweep spec file (or stdin).
+func loadSweep(cmd string, args []string, fs *flag.FlagSet) (ichannels.Sweep, error) {
+	files, err := splitFilesAndFlags(cmd, args, fs)
+	if err != nil {
+		return ichannels.Sweep{}, err
+	}
+	if len(files) != 1 {
+		return ichannels.Sweep{}, fmt.Errorf("%s: give exactly one sweep spec file (or - for stdin); the axes provide the fan-out", cmd)
+	}
+	var data []byte
+	if files[0] == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(files[0])
+	}
+	if err != nil {
+		return ichannels.Sweep{}, fmt.Errorf("%s: %w", cmd, err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		return ichannels.Sweep{}, fmt.Errorf("%s: %s: %w", cmd, files[0], err)
+	}
+	return sw, nil
+}
+
+// sweepRun expands a parameter grid and executes it on the streaming
+// engine. Text and -json modes print at the end (compact summaries +
+// grouped aggregate; never the full envelopes); -ndjson streams one
+// full outcome line per cell as it completes, then the aggregate line —
+// the same framing POST /v1/sweeps uses, with byte-identical aggregate
+// output for a fixed spec and seed.
+func sweepRun(args []string) error {
+	fs := flag.NewFlagSet("sweep run", flag.ContinueOnError)
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size")
+	seed := fs.Int64("seed", 1, "base seed (cells that pin no seed derive theirs from it)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable summary (cells + aggregate) instead of text")
+	ndjsonOut := fs.Bool("ndjson", false, "stream one JSON outcome per cell plus a final aggregate line (the HTTP v1 framing)")
+	sw, err := loadSweep("sweep run", args, fs)
+	if err != nil {
+		return err
+	}
+	if *jsonOut && *ndjsonOut {
+		return errors.New("sweep run: give either -json or -ndjson, not both")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := ichannels.SweepOptions{BaseSeed: *seed, Parallel: *parallel}
+	var enc *json.Encoder
+	if *ndjsonOut {
+		enc = json.NewEncoder(os.Stdout)
+		opts.OnCell = func(o ichannels.SweepCellOutcome) error {
+			return enc.Encode(ichannels.SweepCellLine(o))
+		}
+	}
+	res, err := ichannels.RunSweep(ctx, sw, opts)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *ndjsonOut:
+		err = ichannels.WriteSweepAggregateLine(os.Stdout, res.Aggregate)
+	case *jsonOut:
+		err = res.WriteJSON(os.Stdout)
+	default:
+		err = res.WriteText(os.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	res.WriteTiming(os.Stderr)
+	if res.Failed > 0 {
+		return fmt.Errorf("sweep run: %d of %d cells failed", res.Failed, len(res.Cells))
+	}
+	return nil
+}
+
+// sweepExpand prints a grid's cells without running them: a text table
+// by default, or (-json) a JSON array of the normalized scenarios —
+// which `ichannels scenario run -` accepts verbatim.
+func sweepExpand(args []string) error {
+	fs := flag.NewFlagSet("sweep expand", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the cells as a runnable JSON scenario array")
+	sw, err := loadSweep("sweep expand", args, fs)
+	if err != nil {
+		return err
+	}
+	cells, err := ichannels.ExpandSweep(sw)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		specs := make([]ichannels.Scenario, len(cells))
+		for i, c := range cells {
+			specs[i] = c.Scenario
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(specs)
+	}
+	for _, c := range cells {
+		fmt.Printf("%4d  %-16s  %s\n", c.Index, c.Scenario.Hash(), c.Scenario.Name)
+	}
+	fmt.Printf("%d cells (hash %s, group by %s)\n", len(cells), sw.Hash(), strings.Join(sw.EffectiveGroupBy(), ", "))
+	return nil
+}
+
 // serveCmd runs the HTTP experiment server until interrupted.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
@@ -293,7 +435,7 @@ func serveCmd(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "ichannels: serving the scenario API on http://%s (GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios)\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "ichannels: serving the scenario API on http://%s (GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios, GET /v1/sweeps/schema, POST /v1/sweeps)\n", ln.Addr())
 	select {
 	case err := <-errCh:
 		return err

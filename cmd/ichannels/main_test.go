@@ -1,6 +1,9 @@
 package main
 
 import (
+	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -24,5 +27,33 @@ func TestDecodeSpecs(t *testing.T) {
 	}
 	if _, err := decodeSpecs([]byte(`{"role":"a"}{"role":"b"}`)); err == nil || !strings.Contains(err.Error(), "trailing data") {
 		t.Errorf("concatenated objects: %v", err)
+	}
+}
+
+func TestLoadSweep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sw.json")
+	if err := os.WriteFile(path, []byte(`{"base":{"role":"channel","kind":"cores"},"axes":{"bits":[4,8]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := loadSweep("sweep run", []string{path}, flag.NewFlagSet("t", flag.ContinueOnError))
+	if err != nil {
+		t.Fatalf("one file: %v", err)
+	}
+	if n, err := sw.CountCells(); err != nil || n != 2 {
+		t.Errorf("loaded sweep expands to %d cells (%v), want 2", n, err)
+	}
+	// Exactly one spec file: the axes are the fan-out, not the arg list.
+	if _, err := loadSweep("sweep run", []string{path, path}, flag.NewFlagSet("t", flag.ContinueOnError)); err == nil ||
+		!strings.Contains(err.Error(), "exactly one") {
+		t.Errorf("two files: %v", err)
+	}
+	if _, err := loadSweep("sweep run", nil, flag.NewFlagSet("t", flag.ContinueOnError)); err == nil {
+		t.Error("no files accepted")
+	}
+	// Flags mix with the file path in any order.
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	par := fs.Int("parallel", 1, "")
+	if _, err := loadSweep("sweep run", []string{"-parallel", "4", path}, fs); err != nil || *par != 4 {
+		t.Errorf("flag-first parse: err=%v parallel=%d", err, *par)
 	}
 }

@@ -1,0 +1,76 @@
+// Command sweeps demonstrates the Sweep API: one declarative JSON spec
+// expands into the paper's Table-6-style grid — every processor ×
+// channel kind × mitigation × payload size, 88 cells after the filters
+// drop the SMT cells on the HT-less Coffee Lake part — runs through the
+// bounded-memory streaming engine, and reduces on the fly into a
+// processor × mitigation aggregate table.
+//
+// The same spec file runs unchanged from the CLI
+// (ichannels sweep run examples/sweeps/specs/table6_processor_mitigation.json)
+// and over HTTP (POST /v1/sweeps), with byte-identical aggregate
+// output.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"ichannels"
+)
+
+func main() {
+	spec := flag.String("spec", "examples/sweeps/specs/table6_processor_mitigation.json", "sweep spec file (JSON object)")
+	seed := flag.Int64("seed", 1, "base seed for cells that pin none")
+	flag.Parse()
+
+	data, err := os.ReadFile(*spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cells, err := ichannels.ExpandSweep(sw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s expands to %d cells (hash %s); first and last:\n  %s\n  %s\n\n",
+		*spec, len(cells), sw.Hash(),
+		cells[0].Scenario.Name, cells[len(cells)-1].Scenario.Name)
+
+	// Stream the grid: cells complete through the worker pool in
+	// expansion order with O(workers) memory, the aggregator folding
+	// each one in as it lands.
+	done := 0
+	res, err := ichannels.RunSweep(context.Background(), sw, ichannels.SweepOptions{
+		BaseSeed: *seed,
+		Parallel: runtime.GOMAXPROCS(0),
+		OnCell: func(o ichannels.SweepCellOutcome) error {
+			done++
+			if done%24 == 0 {
+				fmt.Fprintf(os.Stderr, "  …%d/%d cells\n", done, len(cells))
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Failed > 0 {
+		log.Fatalf("%d cells failed", res.Failed)
+	}
+
+	fmt.Printf("aggregate over %d cells (group by %v):\n\n", len(res.Cells), res.Aggregate.GroupBy)
+	if err := res.Aggregate.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaper §7 / Table 1, grid-shaped: per-core VRs and secure mode push the")
+	fmt.Println("channels' BER toward 0.5 (mitigated) on every part, while the unmitigated")
+	fmt.Println("rows decode with low error on all four processors.")
+}

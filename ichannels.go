@@ -40,6 +40,7 @@ package ichannels
 
 import (
 	"context"
+	"io"
 	"net/http"
 
 	"ichannels/internal/baselines"
@@ -53,6 +54,7 @@ import (
 	"ichannels/internal/scenario"
 	"ichannels/internal/serve"
 	"ichannels/internal/soc"
+	"ichannels/internal/sweep"
 	"ichannels/internal/trace"
 	"ichannels/internal/units"
 )
@@ -375,6 +377,96 @@ func ParseScenarioSpecs(data []byte) (specs []Scenario, isArray bool, err error)
 
 // NewExperimentServer returns an http.Handler exposing the versioned
 // scenario API (GET /v1/experiments, GET /v1/scenarios/schema, POST
-// /v1/scenarios with a (scenario, seed) result cache) plus the
-// deprecated legacy routes GET /experiments and POST /run/{name}?seed=N.
+// /v1/scenarios with a (scenario, seed) result cache, POST /v1/sweeps
+// and GET /v1/sweeps/schema for parameter grids) plus the deprecated
+// legacy routes GET /experiments and POST /run/{name}?seed=N.
 func NewExperimentServer() http.Handler { return serve.New(serve.Options{}).Handler() }
+
+// ---- Streaming execution ----
+
+// ScenarioStreamOptions configures a streaming scenario run: scenarios
+// are pulled lazily from Next and outcomes pushed in order to Emit,
+// with memory bounded by the worker count and reorder window instead of
+// the stream length.
+type ScenarioStreamOptions = engine.StreamOptions
+
+// ScenarioStreamStats summarizes a completed stream.
+type ScenarioStreamStats = engine.StreamStats
+
+// StreamScenarios executes a lazily produced scenario sequence on a
+// worker pool with bounded memory, emitting outcomes in stream order.
+// RunScenarios is its collect-all wrapper; sweeps are its main client.
+func StreamScenarios(ctx context.Context, opts ScenarioStreamOptions) (*ScenarioStreamStats, error) {
+	return engine.StreamScenarios(ctx, opts)
+}
+
+// ---- Sweep API: declarative parameter grids ----
+
+// Sweep is the declarative description of a parameter grid: a base
+// Scenario plus named axes (processor, kind, baseline, mitigation,
+// bits, noise, coding, params) whose cross-product expands
+// deterministically into cells — the paper's processors × kinds ×
+// mitigations tables as one spec. The same spec executes identically
+// from Go (RunSweep), the CLI (ichannels sweep run), and the wire
+// (POST /v1/sweeps).
+type Sweep = scenario.Sweep
+
+// SweepAxes names the grid dimensions of a Sweep.
+type SweepAxes = scenario.SweepAxes
+
+// SweepFilter is one cell-exclusion rule of a Sweep.
+type SweepFilter = scenario.SweepFilter
+
+// SweepCell is one expanded grid point: the combined normalized
+// scenario plus its axis coordinates.
+type SweepCell = scenario.Cell
+
+// SweepOptions configures a sweep run (seed, parallelism, streaming
+// hook, executor override).
+type SweepOptions = sweep.Options
+
+// SweepCellOutcome is one completed cell streamed to
+// SweepOptions.OnCell.
+type SweepCellOutcome = sweep.CellOutcome
+
+// SweepResult is a completed sweep: compact per-cell summaries plus
+// the grouped aggregate table.
+type SweepResult = sweep.Result
+
+// SweepTable is the grouped aggregate (count and mean/min/max/p50/p95
+// of BER, throughput, and simulated time per axis-subset group).
+type SweepTable = sweep.Table
+
+// RunSweep expands and executes a sweep, streaming cells through the
+// engine worker pool with bounded memory and reducing them on the fly.
+// For a fixed (sweep, BaseSeed) every per-cell result and the aggregate
+// table are byte-identical at any parallelism.
+func RunSweep(ctx context.Context, sw Sweep, opts SweepOptions) (*SweepResult, error) {
+	return sweep.Run(ctx, sw, opts)
+}
+
+// ExpandSweep materializes a sweep's cells in expansion order without
+// running them (each cell's Scenario is normalized and validated).
+func ExpandSweep(sw Sweep) ([]SweepCell, error) { return sw.Expand() }
+
+// ParseSweepSpec parses one JSON sweep object, rejecting unknown fields
+// and trailing data — the decoder the CLI and HTTP v1 layer share.
+func ParseSweepSpec(data []byte) (Sweep, error) { return scenario.ParseSweep(data) }
+
+// SweepSchemaJSON returns the machine-readable Sweep spec schema (the
+// payload of GET /v1/sweeps/schema).
+func SweepSchemaJSON() []byte { return scenario.SweepSchemaJSON() }
+
+// SweepCellLineJSON is the NDJSON wire form of one streamed sweep cell.
+type SweepCellLineJSON = sweep.CellLine
+
+// SweepCellLine converts a streamed cell outcome to the NDJSON line
+// form the CLI emits (the HTTP layer adds a `cached` field on top).
+func SweepCellLine(o SweepCellOutcome) SweepCellLineJSON { return sweep.LineOf(o) }
+
+// WriteSweepAggregateLine writes the aggregate's NDJSON framing — the
+// final line of both `ichannels sweep run -ndjson` and POST /v1/sweeps,
+// byte-identical between the two for a fixed spec and seed.
+func WriteSweepAggregateLine(w io.Writer, t *SweepTable) error {
+	return sweep.WriteAggregateLine(w, t)
+}

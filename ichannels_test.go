@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http/httptest"
+	"os"
 	"testing"
 
 	"ichannels"
@@ -210,5 +212,70 @@ func TestScenarioAPIExposed(t *testing.T) {
 
 	if len(ichannels.ScenarioSchemaJSON()) == 0 || len(ichannels.AllExperimentScenarios()) == 0 {
 		t.Error("schema or experiment generators empty")
+	}
+}
+
+// TestSweepAPIExposed exercises the sweep surface the way a downstream
+// user would: parse the checked-in Table-6-style spec, expand it (≥ 48
+// cells), run it through the streaming engine, and POST the same spec
+// to /v1/sweeps — with byte-identical aggregate output between the two
+// transports.
+func TestSweepAPIExposed(t *testing.T) {
+	data, err := os.ReadFile("examples/sweeps/specs/table6_processor_mitigation.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := ichannels.ExpandSweep(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) < 48 {
+		t.Fatalf("the checked-in grid expands to %d cells, want ≥ 48", len(cells))
+	}
+
+	streamed := 0
+	res, err := ichannels.RunSweep(context.Background(), sw, ichannels.SweepOptions{
+		BaseSeed: 7, Parallel: 8,
+		OnCell: func(o ichannels.SweepCellOutcome) error { streamed++; return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || streamed != len(cells) || len(res.Cells) != len(cells) {
+		t.Fatalf("ran %d/%d cells, %d failed", streamed, len(cells), res.Failed)
+	}
+	var direct bytes.Buffer
+	if err := ichannels.WriteSweepAggregateLine(&direct, res.Aggregate); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(ichannels.NewExperimentServer())
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweeps?seed=7", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST /v1/sweeps: status %d", resp.StatusCode)
+	}
+	wire, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(wire), []byte("\n"))
+	if len(lines) != len(cells)+1 {
+		t.Fatalf("HTTP stream has %d lines, want %d cells + aggregate", len(lines), len(cells))
+	}
+	if got := string(lines[len(lines)-1]) + "\n"; got != direct.String() {
+		t.Errorf("HTTP aggregate differs from RunSweep:\nhttp:   %sdirect: %s", got, direct.String())
+	}
+
+	if len(ichannels.SweepSchemaJSON()) == 0 {
+		t.Error("sweep schema empty")
 	}
 }

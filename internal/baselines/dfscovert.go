@@ -118,7 +118,8 @@ func (a *dfsReceiver) Next(env *soc.Env, prev *soc.Result) soc.Action {
 func (d *DFScovert) run(bits []int) ([]int64, error) {
 	base := d.m.Now().Add(50 * units.Microsecond)
 	snd := &dfsSender{d: d, base: base, bits: bits}
-	rcv := &dfsReceiver{d: d, base: base, windows: len(bits)}
+	rcv := &dfsReceiver{d: d, base: base, windows: len(bits),
+		measures: make([]int64, 0, len(bits))}
 	if _, err := d.m.Bind(0, 0, snd); err != nil {
 		return nil, err
 	}

@@ -88,7 +88,8 @@ func (a *nsAgent) Next(env *soc.Env, prev *soc.Result) soc.Action {
 // run transmits raw bits and returns per-bit measurement cycles.
 func (n *NetSpectre) run(bits []int) ([]int64, error) {
 	base := n.m.Now().Add(20 * units.Microsecond)
-	agent := &nsAgent{ns: n, base: base, bits: bits}
+	agent := &nsAgent{ns: n, base: base, bits: bits,
+		measures: make([]int64, 0, len(bits))}
 	if _, err := n.m.Bind(n.core, n.slot, agent); err != nil {
 		return nil, err
 	}

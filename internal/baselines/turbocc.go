@@ -124,7 +124,8 @@ func (a *tcReceiver) Next(env *soc.Env, prev *soc.Result) soc.Action {
 func (t *TurboCC) run(bits []int) ([]int64, error) {
 	base := t.m.Now().Add(50 * units.Microsecond)
 	snd := &tcSender{tc: t, base: base, bits: bits}
-	rcv := &tcReceiver{tc: t, base: base, windows: len(bits)}
+	rcv := &tcReceiver{tc: t, base: base, windows: len(bits),
+		measures: make([]int64, 0, len(bits))}
 	if _, err := t.m.Bind(0, 0, snd); err != nil {
 		return nil, err
 	}

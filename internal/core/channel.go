@@ -179,16 +179,20 @@ func (c *Channel) RunSymbols(schedule []Symbol) ([]int64, error) {
 	// their spin loops.
 	base := c.m.Now().Add(20 * units.Microsecond)
 
+	// Measurement slices are sized up front: one reading per slot, so
+	// the per-slot append in the agent hot path never reallocates.
 	var measures *[]int64
 	if c.p.Kind == SameThread {
-		agent := &sameThreadAgent{ch: c, base: base, schedule: schedule}
+		agent := &sameThreadAgent{ch: c, base: base, schedule: schedule,
+			measures: make([]int64, 0, len(schedule))}
 		if _, err := c.m.Bind(c.p.SenderCore, c.p.SenderSlot, agent); err != nil {
 			return nil, err
 		}
 		measures = &agent.measures
 	} else {
 		snd := &senderAgent{ch: c, base: base, schedule: schedule}
-		rcv := &receiverAgent{ch: c, base: base, slots: len(schedule)}
+		rcv := &receiverAgent{ch: c, base: base, slots: len(schedule),
+			measures: make([]int64, 0, len(schedule))}
 		if _, err := c.m.Bind(c.p.SenderCore, c.p.SenderSlot, snd); err != nil {
 			return nil, err
 		}
@@ -224,6 +228,9 @@ func (c *Channel) Calibrate(perSymbol int) (*Calibration, error) {
 		return nil, err
 	}
 	var groups [NumSymbols][]float64
+	for s := range groups {
+		groups[s] = make([]float64, 0, perSymbol)
+	}
 	for i, m := range measures {
 		s := schedule[i]
 		groups[s] = append(groups[s], float64(m))
@@ -271,6 +278,7 @@ func (c *Channel) Transmit(bits []int) (*TransmitResult, error) {
 	elapsed := units.Duration(len(syms)) * c.p.SlotPeriod
 	res := &TransmitResult{
 		Sent:     syms,
+		Decoded:  make([]Symbol, 0, len(measures)),
 		Measures: measures,
 		Elapsed:  elapsed,
 		SentBits: bits,

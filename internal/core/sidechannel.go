@@ -144,7 +144,8 @@ func (v *victimLoop) Next(env *soc.Env, prev *soc.Result) soc.Action {
 func (s *Spy) observe(classes []isa.Class) ([]int64, error) {
 	base := s.m.Now().Add(20 * units.Microsecond)
 	victim := &victimLoop{s: s, base: base, classes: classes}
-	probe := &spyProbe{s: s, base: base, windows: len(classes)}
+	probe := &spyProbe{s: s, base: base, windows: len(classes),
+		measures: make([]int64, 0, len(classes))}
 	if _, err := s.m.Bind(s.VictimCore, s.VictimSlot, victim); err != nil {
 		return nil, err
 	}
@@ -165,7 +166,7 @@ func (s *Spy) Calibrate(perWidth int) error {
 	if perWidth <= 0 {
 		return fmt.Errorf("core: perWidth must be positive")
 	}
-	var classes []isa.Class
+	classes := make([]isa.Class, 0, perWidth*len(s.widths))
 	for i := 0; i < perWidth; i++ {
 		classes = append(classes, s.widths...)
 	}
@@ -212,7 +213,11 @@ func (s *Spy) Infer(classes []isa.Class) (*InferenceResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &InferenceResult{Actual: classes, Confusion: make([][]int, len(s.widths))}
+	res := &InferenceResult{
+		Actual:    classes,
+		Inferred:  make([]isa.Class, 0, len(classes)),
+		Confusion: make([][]int, len(s.widths)),
+	}
 	for i := range res.Confusion {
 		res.Confusion[i] = make([]int, len(s.widths))
 	}

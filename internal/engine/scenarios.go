@@ -29,9 +29,9 @@ type ScenarioOptions struct {
 	Parallel int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run ScenarioRunFunc
-	// OnResult, when set, is called as each scenario finishes (from the
-	// finishing worker's goroutine), with its batch index. The result
-	// slot is fully populated before the call. Used for streaming.
+	// OnResult, when set, is called with each scenario's batch index as
+	// its outcome is emitted, in batch order (from the calling
+	// goroutine). The result slot is fully populated before the call.
 	OnResult func(i int)
 }
 
@@ -72,51 +72,74 @@ func DeriveScenarioSeed(base int64, s scenario.Scenario) int64 {
 	return d
 }
 
-// RunScenarios executes a batch of scenarios on a worker pool. It
-// returns an error only for unrunnable requests (an invalid spec, which
-// would fail identically on every retry); individual run failures are
-// recorded per-outcome and do not stop the batch. Cancelling the
-// context abandons scenarios that have not started.
+// RunScenarios executes a batch of scenarios and collects every
+// outcome — a thin collect-all wrapper over the streaming core
+// (StreamScenarios). It returns an error only for unrunnable requests
+// (an invalid spec, which would fail identically on every retry), and
+// validates the whole batch before running any of it; individual run
+// failures are recorded per-outcome and do not stop the batch.
+// Cancelling the context abandons scenarios that have not started:
+// their outcome slots carry the context error.
 func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, error) {
-	runFn := opts.Run
-	if runFn == nil {
-		runFn = func(ctx context.Context, s scenario.Scenario, seed int64) (*scenario.Result, error) {
-			return scenario.Runner{}.RunSeeded(ctx, s, seed)
+	// Validate up front so a malformed batch fails whole, before any
+	// simulation runs — the stream itself validates lazily.
+	for i, s := range opts.Scenarios {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("engine: scenarios[%d]: %w", i, err)
 		}
 	}
 	b := &ScenarioBatch{
 		BaseSeed: opts.BaseSeed,
 		Results:  make([]ScenarioOutcome, len(opts.Scenarios)),
+		Parallel: poolSize(opts.Parallel, len(opts.Scenarios)),
 	}
-	for i, s := range opts.Scenarios {
-		n := s.Normalized()
-		if err := n.Validate(); err != nil {
-			return nil, fmt.Errorf("engine: scenarios[%d]: %w", i, err)
-		}
-		r := &b.Results[i]
-		r.Scenario = n
-		r.Seed = n.Seed
-		if r.Seed == 0 {
-			r.Seed = DeriveScenarioSeed(opts.BaseSeed, n)
-		}
-	}
-	b.Parallel = poolSize(opts.Parallel, len(b.Results))
-
-	start := time.Now()
-	runPool(b.Parallel, len(b.Results), func(i int) {
-		r := &b.Results[i]
-		if err := ctx.Err(); err != nil {
-			r.Err = err
-		} else {
-			t0 := time.Now()
-			r.Result, r.Err = runScenarioIsolated(ctx, runFn, r.Scenario, r.Seed)
-			r.Elapsed = time.Since(t0)
-		}
-		if opts.OnResult != nil {
-			opts.OnResult(i)
-		}
+	next := 0
+	emitted := 0
+	stats, err := StreamScenarios(ctx, StreamOptions{
+		Next: func() (scenario.Scenario, bool) {
+			if next >= len(opts.Scenarios) {
+				return scenario.Scenario{}, false
+			}
+			s := opts.Scenarios[next]
+			next++
+			return s, true
+		},
+		BaseSeed: opts.BaseSeed,
+		Parallel: b.Parallel,
+		Run:      opts.Run,
+		Emit: func(o ScenarioOutcome) error {
+			b.Results[emitted] = o
+			if opts.OnResult != nil {
+				opts.OnResult(emitted)
+			}
+			emitted++
+			return nil
+		},
 	})
-	b.Elapsed = time.Since(start)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && err == ctxErr {
+			// The stream stopped pulling on cancellation; restore the
+			// batch contract by populating the abandoned slots with the
+			// context error.
+			for i := emitted; i < len(opts.Scenarios); i++ {
+				n := opts.Scenarios[i].Normalized()
+				seed := n.Seed
+				if seed == 0 {
+					seed = DeriveScenarioSeed(opts.BaseSeed, n)
+				}
+				r := &b.Results[i]
+				r.Scenario = n
+				r.Seed = seed
+				r.Err = ctxErr
+				if opts.OnResult != nil {
+					opts.OnResult(i)
+				}
+			}
+		} else {
+			return nil, err
+		}
+	}
+	b.Elapsed = stats.Elapsed
 	return b, nil
 }
 

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"ichannels/internal/scenario"
+)
+
+// DefaultStreamWindowFactor sizes the reorder window when
+// StreamOptions.Window is zero: workers × this factor slots may be
+// in flight or awaiting emission at once.
+const DefaultStreamWindowFactor = 4
+
+// StreamOptions configures a streaming scenario run. Unlike
+// ScenarioOptions there is no materialized batch: scenarios are pulled
+// one at a time from Next and outcomes are pushed in stream order to
+// Emit, holding at most O(Parallel + Window) outcomes in memory — the
+// execution core sweeps and any other unbounded producer ride on.
+type StreamOptions struct {
+	// Next yields the stream's scenarios in order, returning ok=false
+	// when exhausted. It is called serially from one goroutine.
+	Next func() (scenario.Scenario, bool)
+	// BaseSeed derives per-scenario seeds for specs that pin none,
+	// exactly like ScenarioOptions.BaseSeed.
+	BaseSeed int64
+	// Parallel is the worker-pool size. Values below 1 mean serial.
+	Parallel int
+	// Window bounds how many outcomes may be in flight or awaiting
+	// ordered emission (the reorder buffer). Zero means
+	// DefaultStreamWindowFactor × workers; values below the worker
+	// count are raised to it (a smaller window would idle workers).
+	Window int
+	// Run overrides the scenario executor (nil means scenario.Run).
+	Run ScenarioRunFunc
+	// Emit receives each outcome in stream order, from the caller's
+	// goroutine. A non-nil error stops the stream (in-flight work is
+	// drained, nothing new starts) and is returned by StreamScenarios.
+	Emit func(ScenarioOutcome) error
+}
+
+// StreamStats summarizes a completed (or stopped) stream.
+type StreamStats struct {
+	// Emitted counts outcomes handed to Emit.
+	Emitted int
+	// Failed counts emitted outcomes whose runner returned an error.
+	Failed int
+	// Parallel is the effective worker count.
+	Parallel int
+	// Elapsed is the stream wall-clock time.
+	Elapsed time.Duration
+}
+
+// streamSlot carries one scenario through the pipeline: the dispatcher
+// fills Scenario/Seed, a worker fills Result/Err/Elapsed and closes
+// ready, and the emitter (which receives slots in dispatch order
+// through a bounded channel) waits on ready before handing the outcome
+// to Emit. The bounded channel is both the ordering and the memory
+// bound: at most Window slots exist between dispatch and emission.
+type streamSlot struct {
+	outcome ScenarioOutcome
+	ready   chan struct{}
+}
+
+// StreamScenarios executes an unbounded, lazily produced sequence of
+// scenarios on a worker pool and emits outcomes in order with bounded
+// memory — the streaming core RunScenarios (collect-all) and the sweep
+// subsystem (grids bigger than memory) are built on.
+//
+// Determinism: outcomes are emitted in stream order and every spec that
+// pins no seed receives DeriveScenarioSeed(BaseSeed, spec), so for a
+// fixed BaseSeed the emitted result bytes are identical at any
+// Parallel/Window setting; only wall-clock differs.
+//
+// An invalid spec stops the stream with an error identifying its
+// position (scenarios already emitted stay emitted); individual run
+// failures are per-outcome and do not stop the stream. Cancelling the
+// context stops the stream: nothing more is pulled from Next (so an
+// unbounded source cannot spin forever), in-flight outcomes drain
+// through Emit with their results or context errors, and the context's
+// error is returned. RunScenarios converts that truncation back into
+// its per-outcome-error batch contract.
+func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, error) {
+	if opts.Next == nil {
+		return nil, fmt.Errorf("engine: stream needs a Next source")
+	}
+	runFn := opts.Run
+	if runFn == nil {
+		runFn = func(ctx context.Context, s scenario.Scenario, seed int64) (*scenario.Result, error) {
+			return scenario.Runner{}.RunSeeded(ctx, s, seed)
+		}
+	}
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	window := opts.Window
+	if window == 0 {
+		window = DefaultStreamWindowFactor * workers
+	}
+	if window < workers {
+		window = workers
+	}
+
+	var (
+		pending = make(chan *streamSlot, window) // dispatch order, bounds memory
+		jobs    = make(chan *streamSlot)         // unordered work feed
+		stop    = make(chan struct{})            // closed on emit error
+		wg      sync.WaitGroup
+		srcErr  error // invalid-spec or cancellation error, owned by the dispatcher
+	)
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sl := range jobs {
+				o := &sl.outcome
+				if err := ctx.Err(); err != nil {
+					o.Err = err
+				} else {
+					t0 := time.Now()
+					o.Result, o.Err = runScenarioIsolated(ctx, runFn, o.Scenario, o.Seed)
+					o.Elapsed = time.Since(t0)
+				}
+				close(sl.ready)
+			}
+		}()
+	}
+
+	go func() {
+		defer close(pending)
+		defer close(jobs)
+		for i := 0; ; i++ {
+			// Stop pulling on cancellation — the source may be
+			// unbounded, and even a finite one should not be drained
+			// cell by cell after a Ctrl-C.
+			if err := ctx.Err(); err != nil {
+				srcErr = err
+				return
+			}
+			s, ok := opts.Next()
+			if !ok {
+				return
+			}
+			n := s.Normalized()
+			if err := n.Validate(); err != nil {
+				srcErr = fmt.Errorf("engine: stream scenario %d: %w", i, err)
+				return
+			}
+			sl := &streamSlot{ready: make(chan struct{})}
+			sl.outcome.Scenario = n
+			sl.outcome.Seed = n.Seed
+			if sl.outcome.Seed == 0 {
+				sl.outcome.Seed = DeriveScenarioSeed(opts.BaseSeed, n)
+			}
+			// The pending send blocks once Window slots await emission —
+			// that back-pressure is the memory bound.
+			select {
+			case pending <- sl:
+			case <-stop:
+				close(sl.ready) // never dispatched; unblock nobody, but keep the invariant
+				return
+			}
+			select {
+			case jobs <- sl:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	stats := &StreamStats{Parallel: workers}
+	var emitErr error
+	for sl := range pending {
+		if emitErr != nil {
+			continue // drain
+		}
+		<-sl.ready
+		stats.Emitted++
+		if sl.outcome.Err != nil {
+			stats.Failed++
+		}
+		if opts.Emit != nil {
+			if err := opts.Emit(sl.outcome); err != nil {
+				emitErr = err
+				close(stop)
+			}
+		}
+	}
+	wg.Wait()
+	stats.Elapsed = time.Since(start)
+	if emitErr != nil {
+		return stats, emitErr
+	}
+	if srcErr != nil {
+		return stats, srcErr
+	}
+	return stats, nil
+}

@@ -145,3 +145,76 @@ func SchemaJSON() []byte {
 	}
 	return append(b, '\n')
 }
+
+// SweepSchema returns the machine-readable description of the Sweep
+// spec (served at GET /v1/sweeps/schema). The per-cell scenario shape
+// is the Scenario schema; this document describes the grid around it.
+func SweepSchema() map[string]any {
+	scenarioSchema := Schema()
+	str := func(desc string, enum ...string) map[string]any {
+		m := map[string]any{"type": "string", "description": desc}
+		if len(enum) > 0 {
+			m["enum"] = enum
+		}
+		return m
+	}
+	axisList := func(items any, desc string) map[string]any {
+		return map[string]any{"type": "array", "items": items, "description": desc}
+	}
+	subObject := func(key string) any { return scenarioSchema["properties"].(map[string]any)[key] }
+	return map[string]any{
+		"$schema":     "https://json-schema.org/draft/2020-12/schema",
+		"$id":         "ichannels/v1/sweep",
+		"title":       "Sweep",
+		"description": "A declarative parameter grid: one base scenario plus named axes whose cross-product expands into cells. POST the object to /v1/sweeps; the response streams one NDJSON line per cell followed by an aggregate envelope.",
+		"type":        "object",
+		"required":    []string{"base", "axes"},
+		"properties": map[string]any{
+			"name": str("optional label; not part of the sweep's identity"),
+			"base": scenarioSchema,
+			"axes": map[string]any{
+				"type":        "object",
+				"description": "grid dimensions; at least one non-empty. Expansion is deterministic: canonical axis order processor, kind, baseline, mitigation, bits, noise, coding, params, last axis varying fastest. A field used as an axis must be unset in the base.",
+				"properties": map[string]any{
+					"processor":  axisList(map[string]any{"type": "string"}, "processor names (marketing or code)"),
+					"kind":       axisList(map[string]any{"type": "string"}, "channel kinds"),
+					"baseline":   axisList(map[string]any{"type": "string"}, "baseline names"),
+					"mitigation": axisList(map[string]any{"type": "string"}, "mitigation names"),
+					"bits":       axisList(map[string]any{"type": "integer"}, "payload sizes (positive, even)"),
+					"noise":      axisList(subObject("noise"), "noise environments"),
+					"coding":     axisList(subObject("coding"), "coding configurations"),
+					"params":     axisList(subObject("params"), "tuning-override sets"),
+				},
+			},
+			"filters": map[string]any{
+				"type":        "array",
+				"description": "skip-list: a cell matching every set field of any filter is dropped (e.g. kind smt on a processor without SMT)",
+				"items": map[string]any{
+					"type": "object",
+					"properties": map[string]any{
+						"processor":  map[string]any{"type": "string"},
+						"kind":       map[string]any{"type": "string"},
+						"baseline":   map[string]any{"type": "string"},
+						"mitigation": map[string]any{"type": "string"},
+						"bits":       map[string]any{"type": "integer"},
+					},
+				},
+			},
+			"group_by": axisList(map[string]any{"type": "string", "enum": AxisNames()},
+				"axis subset the aggregate table groups by (default: every axis the sweep uses, canonical order)"),
+			"max_cells": map[string]any{
+				"type":        "integer",
+				"description": fmt.Sprintf("pre-filter expansion cap (default %d, hard limit %d)", DefaultMaxSweepCells, MaxSweepCells),
+			},
+		},
+	}
+}
+
+// SweepSchemaJSON renders SweepSchema as indented JSON.
+func SweepSchemaJSON() []byte {
+	b, err := json.MarshalIndent(SweepSchema(), "", "  ")
+	if err != nil {
+		panic("scenario: sweep schema marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}

@@ -8,6 +8,11 @@
 //	POST /v1/scenarios         run one scenario (JSON object) or a batch
 //	                           (JSON array; the response streams NDJSON,
 //	                           one outcome line per scenario, in order)
+//	GET  /v1/sweeps/schema     machine-readable Sweep spec schema
+//	POST /v1/sweeps            expand and run a parameter grid; the
+//	                           response streams one NDJSON line per cell
+//	                           followed by an aggregate envelope
+//	                           (see internal/sweep)
 //
 // Errors carry a structured envelope {code, message} (plus a legacy
 // "error" field). Mutating routes enforce method and Content-Type
@@ -31,8 +36,9 @@
 // across unrelated clients. Runner errors are cached too — they are
 // equally deterministic — so a failing (scenario, seed) pair does not
 // burn CPU on every retry. The cache is bounded
-// (Options.MaxCacheEntries, FIFO eviction) so seed sweeps cannot grow
-// the process without limit.
+// (Options.MaxCacheEntries, LRU eviction — hits refresh recency, so a
+// sweep session's hot repeated cells outlive one-shot grid neighbours)
+// so seed sweeps cannot grow the process without limit.
 package serve
 
 import (
@@ -79,8 +85,10 @@ type Options struct {
 	// both the legacy /run/{name} route and experiment-role scenarios.
 	// Injected by tests to observe cache behavior.
 	Run engine.RunFunc
-	// MaxCacheEntries bounds the result cache; when full, the oldest
-	// completed entry is evicted (FIFO). Zero means
+	// MaxCacheEntries bounds the result cache; when full, the
+	// least-recently-used completed entry is evicted (a cache hit
+	// refreshes the entry's recency, so a sweep session's hot repeated
+	// cells survive long grids of one-shot neighbours). Zero means
 	// DefaultMaxCacheEntries. Negative disables caching — and with it
 	// the coalescing of concurrent identical requests, which rides on
 	// the published cache entries.
@@ -100,7 +108,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	cache  map[cacheKey]*cacheEntry
-	order  []cacheKey // insertion order, for FIFO eviction
+	order  []cacheKey // recency order, oldest first, for LRU eviction
 	hits   int64
 	misses int64
 }
@@ -174,6 +182,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/experiments", s.v1Experiments)
 	mux.HandleFunc("/v1/scenarios/schema", s.v1Schema)
 	mux.HandleFunc("/v1/scenarios", s.v1Scenarios)
+	mux.HandleFunc("/v1/sweeps/schema", s.v1SweepSchema)
+	mux.HandleFunc("/v1/sweeps", s.v1Sweeps)
 	// Legacy shims (deprecated; see the package comment).
 	mux.HandleFunc("GET /experiments", s.handleList)
 	mux.HandleFunc("POST /run/{name}", s.handleRun)
@@ -193,6 +203,10 @@ func (s *Server) CacheStats() (hits, misses int64) {
 // when the request arrived — the condition under which the response is
 // marked served-from-cache; a coalesced waiter on an in-flight entry
 // still pays the compute wall-clock.
+//
+// Eviction is LRU: a hit moves the key to the back of the recency
+// order, so long sweep sessions re-requesting a hot working set keep it
+// resident while one-shot grid cells age out from the front.
 func (s *Server) entry(key cacheKey) (ent *cacheEntry, cached bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -200,13 +214,14 @@ func (s *Server) entry(key cacheKey) (ent *cacheEntry, cached bool) {
 	cached = hit && ent != nil && ent.done()
 	if hit {
 		s.hits++
+		s.touchLocked(key)
 		return ent, cached
 	}
 	s.misses++
 	ent = newCacheEntry()
 	if s.maxCache > 0 {
-		// Evict oldest completed entries; in-flight ones are skipped
-		// (the cap may be exceeded transiently, bounded by
+		// Evict least-recently-used completed entries; in-flight ones
+		// are skipped (the cap may be exceeded transiently, bounded by
 		// MaxConcurrent plus waiters).
 		for len(s.cache) >= s.maxCache {
 			evicted := false
@@ -226,6 +241,19 @@ func (s *Server) entry(key cacheKey) (ent *cacheEntry, cached bool) {
 		s.order = append(s.order, key)
 	}
 	return ent, false
+}
+
+// touchLocked moves key to the back of the recency order. The linear
+// scan is bounded by MaxCacheEntries and is noise next to the
+// simulations the cache fronts.
+func (s *Server) touchLocked(key cacheKey) {
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == key {
+			copy(s.order[i:], s.order[i+1:])
+			s.order[len(s.order)-1] = key
+			return
+		}
+	}
 }
 
 // compute runs fn into ent exactly once, bounded by the simulation

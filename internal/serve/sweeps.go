@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ichannels/internal/engine"
+	"ichannels/internal/scenario"
+	"ichannels/internal/sweep"
+)
+
+// CodeInvalidSweep is the structured error code for a rejected sweep
+// spec.
+const CodeInvalidSweep = "invalid_sweep"
+
+// MaxSweepCellsPerRequest bounds how many cells one POST /v1/sweeps may
+// run — the grid-shaped sibling of MaxBatchScenarios. A spec may raise
+// its own max_cells to the scenario package's hard limit for CLI/Go
+// use, but one HTTP request cannot monopolize a shared server with a
+// 65k-cell grid.
+const MaxSweepCellsPerRequest = 4096
+
+func (s *Server) v1SweepSchema(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(scenario.SweepSchemaJSON())
+}
+
+// sweepLine is one NDJSON line of a sweep response: the sweep package's
+// cell framing plus the serving-side `cached` marker. Exactly one of
+// Error and Result is set.
+type sweepLine struct {
+	Index     int               `json:"index"`
+	Name      string            `json:"name,omitempty"`
+	Axes      map[string]string `json:"axes"`
+	Hash      string            `json:"hash"`
+	Seed      int64             `json:"seed"`
+	Cached    bool              `json:"cached"`
+	ElapsedUS float64           `json:"elapsed_us"`
+	Error     *errorBody        `json:"error,omitempty"`
+	Result    *scenario.Result  `json:"result,omitempty"`
+}
+
+// sweepItem carries one cell through the serving pipeline. hash is the
+// cell spec's content hash, computed once in the producer and reused
+// for both the cache key and the wire line.
+type sweepItem struct {
+	cell   scenario.Cell
+	hash   string
+	seed   int64
+	ent    *cacheEntry
+	cached bool
+}
+
+// sweepWindow bounds how many cells may be past the producer (entry
+// published, compute dispatched) but not yet written. Grid size never
+// enters the bound — that is the serving side of the streaming
+// contract asserted by engine.TestStreamBoundedMemory.
+func (s *Server) sweepWindow() int {
+	n := runtime.GOMAXPROCS(0)
+	if s.sem != nil {
+		n = cap(s.sem)
+	}
+	w := 2 * n
+	if w < 4 {
+		w = 4
+	}
+	if w > 64 {
+		w = 64
+	}
+	return w
+}
+
+// v1Sweeps expands a sweep spec and streams one NDJSON line per cell,
+// in expansion order, followed by a final aggregate envelope
+// ({"aggregate": …}) whose bytes match `ichannels sweep run` for the
+// same spec and seed. Every cell shares the server-wide
+// (scenario hash, seed) single-flight cache, so re-posting a sweep —
+// or posting a sweep that overlaps earlier scenario requests — recomputes
+// nothing.
+func (s *Server) v1Sweeps(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodPost) {
+		return
+	}
+	if !requireJSON(w, r) {
+		return
+	}
+	querySeed, seedSet, err := parseSeed(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	}
+	if seedSet && querySeed < 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "seed must be non-negative, got %d", querySeed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			"request body exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	sw, err := scenario.ParseSweep(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding sweep: %v (see /v1/sweeps/schema)", err)
+		return
+	}
+	nsw := sw.Normalized()
+	// One pass validates the structure and every cell, and yields the
+	// post-filter size for the per-request limit.
+	cells, err := nsw.CountCells()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidSweep, "%v", err)
+		return
+	}
+	if cells > MaxSweepCellsPerRequest {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"sweep expands to %d cells, above the per-request limit of %d (split the grid or run it via the CLI)",
+			cells, MaxSweepCellsPerRequest)
+		return
+	}
+	baseSeed := int64(scenario.DefaultSeed)
+	if seedSet && querySeed != 0 {
+		baseSeed = querySeed
+	}
+	it, err := nsw.Cells()
+	if err != nil {
+		// Unreachable after CountCells; keep the 400 for safety.
+		writeError(w, http.StatusBadRequest, CodeInvalidSweep, "%v", err)
+		return
+	}
+
+	// Producer: expand lazily, publish cache entries, dispatch compute.
+	// The bounded channel is the back-pressure that keeps the number of
+	// in-flight cells O(window), never O(grid).
+	items := make(chan sweepItem, s.sweepWindow())
+	ctx := r.Context()
+	go func() {
+		defer close(items)
+		for {
+			cell, ok, err := it.Next()
+			if err != nil || !ok {
+				// err is unreachable post-Validate; ending the stream
+				// early is the safe degradation.
+				return
+			}
+			seed := cell.Scenario.Seed
+			if seed == 0 {
+				seed = engine.DeriveScenarioSeed(baseSeed, cell.Scenario)
+			}
+			hash := cell.Scenario.Hash()
+			ent, cached := s.entry(cacheKey{Hash: hash, Seed: seed})
+			n := cell.Scenario
+			go s.compute(ent, func() (*scenario.Result, error) {
+				return s.runScenarioIsolated(r, n, seed)
+			})
+			select {
+			case items <- sweepItem{cell: cell, hash: hash, seed: seed, ent: ent, cached: cached}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	agg := sweep.NewAggregator(nsw.EffectiveGroupBy())
+	for it := range items {
+		select {
+		case <-it.ent.ready:
+		case <-ctx.Done():
+			// Client went away; in-flight computations still complete
+			// into the cache for the next request.
+			return
+		}
+		line := sweepLine{
+			Index: it.cell.Index, Name: it.cell.Scenario.Name, Axes: it.cell.Axes,
+			Hash: it.hash, Seed: it.seed, Cached: it.cached,
+			ElapsedUS: float64(it.ent.elapsed) / float64(time.Microsecond),
+		}
+		if it.ent.err != nil {
+			line.Error = errBody(CodeRunFailed, "%s (seed %d): %v", it.cell.Scenario.Describe(), it.seed, it.ent.err)
+		} else {
+			line.Result = it.ent.result
+		}
+		agg.Add(it.cell.Axes, it.ent.result, it.ent.err)
+		if err := enc.Encode(line); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sweep.WriteAggregateLine(w, agg.Table(nsw.Hash(), baseSeed))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

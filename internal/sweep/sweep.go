@@ -1,0 +1,480 @@
+// Package sweep executes declarative parameter grids (scenario.Sweep)
+// and reduces their per-cell results into the paper's table shapes:
+// grouped aggregates of BER, throughput, and simulated time over any
+// subset of the sweep's axes.
+//
+// Execution streams: cells are expanded lazily (scenario.CellIterator),
+// run through the engine's bounded-memory streaming core
+// (engine.StreamScenarios), and folded into the aggregator as they
+// complete — peak memory is O(workers + window), not O(grid). Only
+// compact per-cell summaries (a handful of scalars each) and the
+// aggregate's metric samples are retained; the full result envelopes
+// (bit streams included) are handed to the OnCell hook and dropped.
+//
+// Determinism: for a fixed (sweep, base seed) the cell order, every
+// per-cell result, and the aggregate table's JSON encoding are
+// byte-identical at any parallelism — the same contract the scenario
+// layer has, extended over grids. The HTTP layer (POST /v1/sweeps) and
+// the CLI (ichannels sweep run) both end in Table, so their aggregate
+// output is comparable byte-for-byte.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ichannels/internal/engine"
+	"ichannels/internal/scenario"
+	"ichannels/internal/stats"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// BaseSeed derives per-cell seeds for cells whose spec pins none
+	// (the sweep base's pinned seed wins, like any scenario batch).
+	BaseSeed int64
+	// Parallel is the worker-pool size. Values below 1 mean serial.
+	Parallel int
+	// Window bounds the engine's reorder buffer (0 = engine default).
+	Window int
+	// Run overrides the scenario executor (nil means scenario.Run).
+	Run engine.ScenarioRunFunc
+	// OnCell, when set, receives each cell outcome in expansion order
+	// (with the full result envelope) as it completes — the streaming
+	// hook the CLI's NDJSON mode and the HTTP layer print from. A
+	// non-nil error stops the sweep.
+	OnCell func(CellOutcome) error
+}
+
+// CellOutcome is one completed grid cell: the cell (normalized spec +
+// axis labels), its content hash (computed once per cell), the
+// effective seed, and the run's result or error.
+type CellOutcome struct {
+	Cell    scenario.Cell
+	Hash    string
+	Seed    int64
+	Result  *scenario.Result
+	Err     error
+	Elapsed time.Duration
+}
+
+// CellSummary is the compact, envelope-free record of one cell that a
+// completed run retains: identity, coordinates, and headline metrics.
+type CellSummary struct {
+	Index int               `json:"index"`
+	Name  string            `json:"name,omitempty"`
+	Axes  map[string]string `json:"axes"`
+	Hash  string            `json:"hash"`
+	Seed  int64             `json:"seed"`
+	Bits  int               `json:"bits,omitempty"`
+	// ThroughputBPS/BER/Verdict are zero/empty when Error is set.
+	ThroughputBPS float64 `json:"throughput_bps,omitempty"`
+	BER           float64 `json:"ber"`
+	Verdict       string  `json:"verdict,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+// Result is the outcome of one sweep run.
+type Result struct {
+	// Hash is the sweep's content hash; BaseSeed the batch master seed.
+	Hash     string `json:"hash"`
+	BaseSeed int64  `json:"base_seed"`
+	// Parallel is the effective worker count (wall-clock only; the
+	// deterministic payload is Cells/Aggregate).
+	Parallel int `json:"parallel"`
+	// Cells holds one compact summary per executed cell, in order.
+	Cells []CellSummary `json:"cells"`
+	// Failed counts cells whose runner returned an error.
+	Failed int `json:"failed"`
+	// Aggregate is the grouped reduction of the successful cells.
+	Aggregate *Table `json:"aggregate"`
+	// Elapsed is the sweep wall-clock time (nondeterministic).
+	Elapsed time.Duration `json:"-"`
+}
+
+// Run expands and executes a sweep, streaming cells through the engine
+// worker pool and reducing them on the fly. It returns an error for an
+// unrunnable sweep (invalid spec) or a stopped stream (OnCell error);
+// per-cell failures land in the summaries/Failed and do not stop the
+// grid.
+func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) {
+	nsw := sw.Normalized()
+	// Two expansion passes by design: the pre-flight validates every
+	// cell so a doomed grid fails before any simulation runs (the batch
+	// fail-whole contract), then the execution pass streams. Spec-level
+	// work is microseconds per cell against milliseconds of simulation,
+	// so the duplication is noise.
+	if err := nsw.Validate(); err != nil {
+		return nil, err
+	}
+	it, err := nsw.Cells()
+	if err != nil {
+		return nil, err
+	}
+	agg := NewAggregator(nsw.EffectiveGroupBy())
+	res := &Result{Hash: nsw.Hash(), BaseSeed: opts.BaseSeed}
+
+	// Cells emit in dispatch order, so a FIFO of pending cells pairs
+	// each emitted outcome back with its axis labels; its length is
+	// bounded by the engine window. Next runs on the engine's
+	// dispatcher goroutine and Emit on the caller's, so the queue is
+	// mutex-guarded.
+	var (
+		queueMu   sync.Mutex
+		cellQueue []scenario.Cell
+		iterErr   error
+	)
+	stats, err := engine.StreamScenarios(ctx, engine.StreamOptions{
+		Next: func() (scenario.Scenario, bool) {
+			cell, ok, err := it.Next()
+			if err != nil {
+				iterErr = err
+				return scenario.Scenario{}, false
+			}
+			if !ok {
+				return scenario.Scenario{}, false
+			}
+			queueMu.Lock()
+			cellQueue = append(cellQueue, cell)
+			queueMu.Unlock()
+			return cell.Scenario, true
+		},
+		BaseSeed: opts.BaseSeed,
+		Parallel: opts.Parallel,
+		Window:   opts.Window,
+		Run:      opts.Run,
+		Emit: func(o engine.ScenarioOutcome) error {
+			queueMu.Lock()
+			cell := cellQueue[0]
+			cellQueue = cellQueue[1:]
+			queueMu.Unlock()
+			hash := cell.Scenario.Hash()
+			out := CellOutcome{Cell: cell, Hash: hash, Seed: o.Seed, Result: o.Result, Err: o.Err, Elapsed: o.Elapsed}
+			s := CellSummary{
+				Index: cell.Index, Name: cell.Scenario.Name, Axes: cell.Axes,
+				Hash: hash, Seed: o.Seed,
+			}
+			if o.Err != nil {
+				s.Error = o.Err.Error()
+			} else {
+				s.Bits = o.Result.Bits
+				s.ThroughputBPS = o.Result.ThroughputBPS
+				s.BER = o.Result.BER
+				s.Verdict = o.Result.Verdict
+			}
+			res.Cells = append(res.Cells, s)
+			agg.Add(cell.Axes, o.Result, o.Err)
+			if opts.OnCell != nil {
+				return opts.OnCell(out)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if iterErr != nil {
+		return nil, iterErr
+	}
+	res.Parallel = stats.Parallel
+	res.Failed = stats.Failed
+	res.Elapsed = stats.Elapsed
+	res.Aggregate = agg.Table(res.Hash, opts.BaseSeed)
+	return res, nil
+}
+
+// ---- grouped reduction ----
+
+// Metric is the deterministic summary of one metric across a group's
+// successful cells.
+type Metric struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+}
+
+// metricOf reduces samples via the stats toolkit.
+func metricOf(xs []float64) Metric {
+	if len(xs) == 0 {
+		return Metric{}
+	}
+	s := stats.Summarize(xs)
+	return Metric{Mean: s.Mean, Min: s.Min, Max: s.Max, P50: s.P50, P95: s.P95}
+}
+
+// Group is one row of the aggregate table: the grouped axis values and
+// the reduced metrics of every successful cell that matched them.
+type Group struct {
+	// Key maps each grouped axis to its value (encoding/json emits map
+	// keys sorted, keeping the row deterministic).
+	Key map[string]string `json:"key"`
+	// Cells counts the group's cells; Errors how many of them failed
+	// (failed cells contribute to no metric).
+	Cells  int `json:"cells"`
+	Errors int `json:"errors"`
+	// BER, ThroughputBPS and ElapsedSimUS summarize the successful
+	// cells' normalized envelopes.
+	BER           Metric `json:"ber"`
+	ThroughputBPS Metric `json:"throughput_bps"`
+	ElapsedSimUS  Metric `json:"elapsed_sim_us"`
+}
+
+// Table is the aggregate of one sweep run — the paper-table-shaped
+// reduction both the CLI and POST /v1/sweeps emit. Its JSON encoding is
+// a pure function of (sweep, base seed).
+type Table struct {
+	Hash     string   `json:"hash"`
+	BaseSeed int64    `json:"base_seed"`
+	GroupBy  []string `json:"group_by"`
+	Cells    int      `json:"cells"`
+	Errors   int      `json:"errors"`
+	Groups   []Group  `json:"groups"`
+}
+
+// groupAcc accumulates one group's samples.
+type groupAcc struct {
+	key    map[string]string
+	cells  int
+	errors int
+	ber    []float64
+	bps    []float64
+	simUS  []float64
+}
+
+// Aggregator folds cell outcomes into grouped metric summaries. It
+// retains three float64 samples per successful cell (needed for the
+// percentiles) and nothing else — no result envelopes.
+type Aggregator struct {
+	groupBy []string
+	groups  map[string]*groupAcc
+	cells   int
+	errors  int
+}
+
+// NewAggregator builds an aggregator grouping by the given axis names
+// (empty means one grand-total group).
+func NewAggregator(groupBy []string) *Aggregator {
+	return &Aggregator{groupBy: groupBy, groups: map[string]*groupAcc{}}
+}
+
+// Add folds one cell outcome in. axes labels the cell's coordinates;
+// res may be nil when err is set (the cell still counts, toward Errors).
+func (a *Aggregator) Add(axes map[string]string, res *scenario.Result, err error) {
+	key := make(map[string]string, len(a.groupBy))
+	var sb strings.Builder
+	for _, g := range a.groupBy {
+		v := axes[g]
+		key[g] = v
+		sb.WriteString(g)
+		sb.WriteByte('\x00')
+		sb.WriteString(v)
+		sb.WriteByte('\x00')
+	}
+	id := sb.String()
+	acc := a.groups[id]
+	if acc == nil {
+		acc = &groupAcc{key: key}
+		a.groups[id] = acc
+	}
+	acc.cells++
+	a.cells++
+	if err != nil || res == nil {
+		acc.errors++
+		a.errors++
+		return
+	}
+	acc.ber = append(acc.ber, res.BER)
+	acc.bps = append(acc.bps, res.ThroughputBPS)
+	acc.simUS = append(acc.simUS, res.ElapsedSimUS)
+}
+
+// Table renders the aggregate: groups sorted by their grouped values in
+// group-by order, each metric reduced deterministically.
+func (a *Aggregator) Table(hash string, baseSeed int64) *Table {
+	ids := make([]string, 0, len(a.groups))
+	for id := range a.groups {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	t := &Table{
+		Hash: hash, BaseSeed: baseSeed,
+		GroupBy: append([]string{}, a.groupBy...),
+		Cells:   a.cells, Errors: a.errors,
+		Groups: make([]Group, 0, len(ids)),
+	}
+	for _, id := range ids {
+		acc := a.groups[id]
+		t.Groups = append(t.Groups, Group{
+			Key: acc.key, Cells: acc.cells, Errors: acc.errors,
+			BER:           metricOf(acc.ber),
+			ThroughputBPS: metricOf(acc.bps),
+			ElapsedSimUS:  metricOf(acc.simUS),
+		})
+	}
+	return t
+}
+
+// CellLine is the NDJSON wire form of one streamed cell outcome — what
+// the CLI's -ndjson mode emits per cell (the HTTP layer adds a `cached`
+// field on top). Elapsed is wall clock; everything else is the
+// deterministic payload.
+type CellLine struct {
+	Index     int               `json:"index"`
+	Name      string            `json:"name,omitempty"`
+	Axes      map[string]string `json:"axes"`
+	Hash      string            `json:"hash"`
+	Seed      int64             `json:"seed"`
+	ElapsedUS float64           `json:"elapsed_us"`
+	Error     string            `json:"error,omitempty"`
+	Result    *scenario.Result  `json:"result,omitempty"`
+}
+
+// LineOf converts a cell outcome to its NDJSON line form.
+func LineOf(o CellOutcome) CellLine {
+	l := CellLine{
+		Index: o.Cell.Index, Name: o.Cell.Scenario.Name, Axes: o.Cell.Axes,
+		Hash: o.Hash, Seed: o.Seed,
+		ElapsedUS: float64(o.Elapsed) / float64(time.Microsecond),
+	}
+	if o.Err != nil {
+		l.Error = o.Err.Error()
+	} else {
+		l.Result = o.Result
+	}
+	return l
+}
+
+// aggregateLine frames the aggregate as the final NDJSON line of a
+// sweep stream; the HTTP layer emits the identical framing, so the
+// trailing line of `ichannels sweep run -ndjson` and of POST /v1/sweeps
+// are byte-comparable.
+type aggregateLine struct {
+	Aggregate *Table `json:"aggregate"`
+}
+
+// WriteAggregateLine writes the aggregate's NDJSON framing.
+func WriteAggregateLine(w io.Writer, t *Table) error {
+	return json.NewEncoder(w).Encode(aggregateLine{Aggregate: t})
+}
+
+// WriteJSON writes the machine-readable sweep result: the compact cell
+// summaries plus the aggregate (no bit streams — use -ndjson or the
+// HTTP stream for full envelopes).
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText writes the human sweep rendering: the per-cell comparison
+// rows followed by the grouped aggregate. Deterministic for a fixed
+// (sweep, base seed).
+func (r *Result) WriteText(w io.Writer) error {
+	rows := [][]string{{"cell", "hash", "seed", "bits", "throughput (b/s)", "BER", "verdict/error"}}
+	for _, c := range r.Cells {
+		last := c.Verdict
+		if c.Error != "" {
+			last = "ERROR: " + c.Error
+		}
+		name := c.Name
+		if name == "" {
+			name = fmt.Sprintf("cell %d", c.Index)
+		}
+		row := []string{name, c.Hash, fmt.Sprint(c.Seed)}
+		if c.Error != "" {
+			row = append(row, "-", "-", "-", last)
+		} else {
+			row = append(row, fmt.Sprint(c.Bits), fmt.Sprintf("%.0f", c.ThroughputBPS),
+				fmt.Sprintf("%.3f", c.BER), last)
+		}
+		rows = append(rows, row)
+	}
+	if err := writeAligned(w, rows); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "\naggregate (group by %s):\n", strings.Join(r.Aggregate.GroupBy, ", ")); err != nil {
+		return err
+	}
+	return r.Aggregate.WriteText(w)
+}
+
+// WriteTiming writes a wall-clock summary (intended for stderr).
+func (r *Result) WriteTiming(w io.Writer) {
+	fmt.Fprintf(w, "sweep %s: %d cells, %d failed, parallel %d, %.2fms total\n",
+		r.Hash, len(r.Cells), r.Failed, r.Parallel,
+		float64(r.Elapsed)/float64(time.Millisecond))
+}
+
+// writeAligned renders rows as an aligned table with a rule under the
+// header.
+func writeAligned(w io.Writer, rows [][]string) error {
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, c := range row {
+			sep := "  "
+			if i == 0 {
+				sep = ""
+			}
+			if _, err := fmt.Fprintf(w, "%s%-*s", sep, widths[i], c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if ri == 0 {
+			for i := range row {
+				sep := "  "
+				if i == 0 {
+					sep = ""
+				}
+				fmt.Fprint(w, sep, strings.Repeat("-", widths[i]))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// WriteText renders the aggregate as an aligned comparison table: one
+// row per group with cell counts and the headline reductions. The
+// output depends only on (sweep, base seed).
+func (t *Table) WriteText(w io.Writer) error {
+	header := append([]string{}, t.GroupBy...)
+	if len(header) == 0 {
+		header = []string{"(all)"}
+	}
+	header = append(header, "cells", "errors", "BER mean", "BER p95", "b/s mean", "b/s p95")
+	rows := [][]string{header}
+	for _, g := range t.Groups {
+		row := make([]string, 0, len(header))
+		if len(t.GroupBy) == 0 {
+			row = append(row, "*")
+		}
+		for _, axis := range t.GroupBy {
+			row = append(row, g.Key[axis])
+		}
+		row = append(row,
+			fmt.Sprint(g.Cells), fmt.Sprint(g.Errors),
+			fmt.Sprintf("%.3f", g.BER.Mean), fmt.Sprintf("%.3f", g.BER.P95),
+			fmt.Sprintf("%.0f", g.ThroughputBPS.Mean), fmt.Sprintf("%.0f", g.ThroughputBPS.P95),
+		)
+		rows = append(rows, row)
+	}
+	return writeAligned(w, rows)
+}

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output (stdin) into a
+// JSON document (stdout) mapping each benchmark to its iteration count,
+// ns/op, B/op, allocs/op, and any custom b.ReportMetric metrics — the
+// machine-readable form CI archives (BENCH_PR3.json) so the perf
+// trajectory of the hot paths is diffable across PRs.
+//
+// Usage:
+//
+//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR3.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark's parsed result line.
+type Entry struct {
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// procSuffix is the "-N" decoration the testing package appends to
+// benchmark names when GOMAXPROCS != 1. Only that exact suffix is
+// stripped — sub-benchmark names that legitimately end in "-8"
+// (e.g. "parallel-8") survive. benchjson assumes it runs on the machine
+// that produced the bench output, which is how CI pipes it.
+var procSuffix = fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
+
+func main() {
+	out := map[string]*Entry{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(nil, 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if runtime.GOMAXPROCS(0) != 1 {
+			name = strings.TrimSuffix(name, procSuffix)
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := &Entry{Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "MB/s":
+				e.metric("mb_per_s", v)
+			default:
+				e.metric(unit, v)
+			}
+		}
+		out[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(out) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	names := make([]string, 0, len(out))
+	for n := range out {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Emit in sorted order (json.Marshal sorts map keys, so one
+	// top-level map keeps the file diffable).
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks (%s … %s)\n", len(names), names[0], names[len(names)-1])
+}
+
+func (e *Entry) metric(name string, v float64) {
+	if e.Metrics == nil {
+		e.Metrics = map[string]float64{}
+	}
+	e.Metrics[name] = v
+}
