@@ -13,7 +13,38 @@ import (
 	"ichannels"
 )
 
-func benchExperiment(b *testing.B, id string, metrics ...string) {
+// benchedExperiments maps every benchmarked experiment ID to the
+// headline metrics its benchmark reports. TestBenchmarkSpecsValidate
+// checks the table against the live registry, so a renamed or removed
+// experiment breaks the test step, not the bench step.
+var benchedExperiments = map[string][]string{
+	"fig6a":    {"vcc_delta_core1_mv", "vcc_delta_both_mv"},
+	"fig6b":    {"vcc_delta_max_mv"},
+	"fig7a":    {"case1_settled_ghz", "case4_settled_ghz"},
+	"fig7b":    {"freq_AVX512_ghz", "temp_AVX2_c"},
+	"fig8a":    {"tp_mean_us_Haswell", "tp_mean_us_Cannon_Lake"},
+	"fig8bc":   {"first_iter_delta_ns_Coffee_Lake"},
+	"fig9":     {"a_min_ipc_ratio", "b_wake_fraction_pct"},
+	"fig10a":   {"two_core_ratio_256H_1GHz", "tp_512H_1.4GHz_1core_us"},
+	"fig10b":   {"tp512_after_64b_us"},
+	"fig11":    {"throttled_undelivered_frac"},
+	"fig12a":   {"iccthread_bps", "ratio"},
+	"fig12b":   {"iccsmt_bps", "ratio_vs_powert"},
+	"fig13":    {"separable_gt_2k_cycles"},
+	"fig14a":   {"ber_irq_10000"},
+	"fig14b":   {"ser_app512b_Heavy_symL4"},
+	"fig14c":   {"ber_rate_10000"},
+	"sevenzip": {"ber"},
+	"server":   {"ber_IccCoresCovert"},
+	"table1":   {"ber_Secure-Mode_IccThreadCovert"},
+	"table2":   {"ichannels_bw_bps"},
+}
+
+func benchExperiment(b *testing.B, id string) {
+	metrics, ok := benchedExperiments[id]
+	if !ok {
+		b.Fatalf("experiment %s is not in benchedExperiments", id)
+	}
 	var rep *ichannels.Report
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -29,81 +60,48 @@ func benchExperiment(b *testing.B, id string, metrics ...string) {
 	}
 }
 
-func BenchmarkFig6a(b *testing.B) {
-	benchExperiment(b, "fig6a", "vcc_delta_core1_mv", "vcc_delta_both_mv")
-}
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6a") }
 
-func BenchmarkFig6b(b *testing.B) {
-	benchExperiment(b, "fig6b", "vcc_delta_max_mv")
-}
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6b") }
 
-func BenchmarkFig7a(b *testing.B) {
-	benchExperiment(b, "fig7a", "case1_settled_ghz", "case4_settled_ghz")
-}
+func BenchmarkFig7a(b *testing.B) { benchExperiment(b, "fig7a") }
 
-func BenchmarkFig7b(b *testing.B) {
-	benchExperiment(b, "fig7b", "freq_AVX512_ghz", "temp_AVX2_c")
-}
+func BenchmarkFig7b(b *testing.B) { benchExperiment(b, "fig7b") }
 
-func BenchmarkFig8a(b *testing.B) {
-	benchExperiment(b, "fig8a", "tp_mean_us_Haswell", "tp_mean_us_Cannon_Lake")
-}
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
 
-func BenchmarkFig8bc(b *testing.B) {
-	benchExperiment(b, "fig8bc", "first_iter_delta_ns_Coffee_Lake")
-}
+func BenchmarkFig8bc(b *testing.B) { benchExperiment(b, "fig8bc") }
 
-func BenchmarkFig9(b *testing.B) {
-	benchExperiment(b, "fig9", "a_min_ipc_ratio", "b_wake_fraction_pct")
-}
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
 
-func BenchmarkFig10a(b *testing.B) {
-	benchExperiment(b, "fig10a", "two_core_ratio_256H_1GHz", "tp_512H_1.4GHz_1core_us")
-}
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
 
-func BenchmarkFig10b(b *testing.B) {
-	benchExperiment(b, "fig10b", "tp512_after_64b_us")
-}
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
 
-func BenchmarkFig11(b *testing.B) {
-	benchExperiment(b, "fig11", "throttled_undelivered_frac")
-}
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
 
-func BenchmarkFig12a(b *testing.B) {
-	benchExperiment(b, "fig12a", "iccthread_bps", "ratio")
-}
+func BenchmarkFig12a(b *testing.B) { benchExperiment(b, "fig12a") }
 
-func BenchmarkFig12b(b *testing.B) {
-	benchExperiment(b, "fig12b", "iccsmt_bps", "ratio_vs_powert")
-}
+func BenchmarkFig12b(b *testing.B) { benchExperiment(b, "fig12b") }
 
-func BenchmarkFig13(b *testing.B) {
-	benchExperiment(b, "fig13", "separable_gt_2k_cycles")
-}
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
 
-func BenchmarkFig14a(b *testing.B) {
-	benchExperiment(b, "fig14a", "ber_irq_10000")
-}
+func BenchmarkFig14a(b *testing.B) { benchExperiment(b, "fig14a") }
 
-func BenchmarkFig14b(b *testing.B) {
-	benchExperiment(b, "fig14b", "ser_app512b_Heavy_symL4")
-}
+func BenchmarkFig14b(b *testing.B) { benchExperiment(b, "fig14b") }
 
-func BenchmarkFig14c(b *testing.B) {
-	benchExperiment(b, "fig14c", "ber_rate_10000")
-}
+func BenchmarkFig14c(b *testing.B) { benchExperiment(b, "fig14c") }
 
-func BenchmarkSevenZip(b *testing.B) {
-	benchExperiment(b, "sevenzip", "ber")
-}
+func BenchmarkSevenZip(b *testing.B) { benchExperiment(b, "sevenzip") }
 
-func BenchmarkTable1(b *testing.B) {
-	benchExperiment(b, "table1", "ber_Secure-Mode_IccThreadCovert")
-}
+// BenchmarkServer covers the §6.4 Skylake-SP extension — the smoke
+// test found it registered but unbenchmarked, a hole in the perf
+// trajectory.
+func BenchmarkServer(b *testing.B) { benchExperiment(b, "server") }
 
-func BenchmarkTable2(b *testing.B) {
-	benchExperiment(b, "table2", "ichannels_bw_bps")
-}
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
 
 // Ablation benches for the design choices DESIGN.md calls out.
 
@@ -225,11 +223,11 @@ func BenchmarkRunScenario(b *testing.B) {
 	b.ReportMetric(last.ThroughputBPS, "channel_bps")
 }
 
-// BenchmarkRunScenariosBatch16 runs a fixed heterogeneous 16-scenario
-// batch (4 processors × {cross-core channel, same-thread channel,
-// cross-core spy, NetSpectre baseline}) at three pool sizes. The result
-// bytes are parallelism-invariant; only the wall clock moves.
-func BenchmarkRunScenariosBatch16(b *testing.B) {
+// batch16Specs is the fixed heterogeneous 16-scenario batch
+// (4 processors × {cross-core channel, same-thread channel, cross-core
+// spy, NetSpectre baseline}) BenchmarkRunScenariosBatch16 runs and
+// TestBenchmarkSpecsValidate guards.
+func batch16Specs() []ichannels.Scenario {
 	var specs []ichannels.Scenario
 	for _, proc := range []string{"Cannon Lake", "Coffee Lake", "Haswell", "Skylake-SP"} {
 		specs = append(specs,
@@ -239,6 +237,14 @@ func BenchmarkRunScenariosBatch16(b *testing.B) {
 			ichannels.Scenario{Role: "baseline", Baseline: "netspectre", Processor: proc, Bits: 8},
 		)
 	}
+	return specs
+}
+
+// BenchmarkRunScenariosBatch16 runs the fixed heterogeneous batch at
+// three pool sizes. The result bytes are parallelism-invariant; only
+// the wall clock moves.
+func BenchmarkRunScenariosBatch16(b *testing.B) {
+	specs := batch16Specs()
 	for _, par := range []int{1, 4, 8} {
 		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -256,28 +262,32 @@ func BenchmarkRunScenariosBatch16(b *testing.B) {
 	}
 }
 
+// streamGrid yields the 32-cell grid BenchmarkStreamScenarios pulls
+// through the streaming core (and TestBenchmarkSpecsValidate checks).
+func streamGrid() func() (ichannels.Scenario, bool) {
+	procs := []string{"Cannon Lake", "Coffee Lake", "Haswell", "Skylake-SP"}
+	i := 0
+	return func() (ichannels.Scenario, bool) {
+		if i >= 32 {
+			return ichannels.Scenario{}, false
+		}
+		s := ichannels.Scenario{
+			Role: "channel", Kind: "cores",
+			Processor: procs[i%len(procs)],
+			Bits:      8 + 2*(i/len(procs)),
+		}
+		i++
+		return s, true
+	}
+}
+
 // BenchmarkStreamScenarios measures the streaming execution core — the
 // path every sweep cell takes — over a 32-cell grid with a bounded
 // reorder window, at two pool sizes. Run with -benchmem: the RunScenario
 // hot path's preallocation work (measurement/decode slices sized from
 // the schedule) shows up directly in B/op and allocs/op here.
 func BenchmarkStreamScenarios(b *testing.B) {
-	grid := func() func() (ichannels.Scenario, bool) {
-		procs := []string{"Cannon Lake", "Coffee Lake", "Haswell", "Skylake-SP"}
-		i := 0
-		return func() (ichannels.Scenario, bool) {
-			if i >= 32 {
-				return ichannels.Scenario{}, false
-			}
-			s := ichannels.Scenario{
-				Role: "channel", Kind: "cores",
-				Processor: procs[i%len(procs)],
-				Bits:      8 + 2*(i/len(procs)),
-			}
-			i++
-			return s, true
-		}
-	}
+	grid := streamGrid
 	for _, par := range []int{1, 8} {
 		b.Run(fmt.Sprintf("parallel-%d", par), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -320,6 +330,67 @@ func BenchmarkSweepTable6(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(res.Cells)), "cells")
+}
+
+// TestBenchmarkSpecsValidate guards the bench setup: every benchmarked
+// experiment must still be registered (and every registered experiment
+// benchmarked, so the perf trajectory has no holes), and every
+// scenario or sweep spec a benchmark constructs must validate — a
+// bench broken by spec evolution fails here, in the test step, before
+// the bench step ever runs.
+func TestBenchmarkSpecsValidate(t *testing.T) {
+	registered := map[string]bool{}
+	for _, e := range ichannels.Experiments() {
+		registered[e.ID] = true
+	}
+	for id := range benchedExperiments {
+		if !registered[id] {
+			t.Errorf("benchmarked experiment %q is not in the registry", id)
+			continue
+		}
+		if err := ichannels.ScenarioFromExperiment(id).Validate(); err != nil {
+			t.Errorf("experiment %q scenario: %v", id, err)
+		}
+	}
+	for id := range registered {
+		if _, ok := benchedExperiments[id]; !ok {
+			t.Errorf("registered experiment %q has no benchmark (add it to benchedExperiments)", id)
+		}
+	}
+
+	for i, s := range batch16Specs() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("batch16 spec %d (%s): %v", i, s.Describe(), err)
+		}
+	}
+	next := streamGrid()
+	for i := 0; ; i++ {
+		s, ok := next()
+		if !ok {
+			if i != 32 {
+				t.Errorf("stream grid yields %d cells, benchmark asserts 32", i)
+			}
+			break
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("stream grid cell %d (%s): %v", i, s.Describe(), err)
+		}
+	}
+	if err := (ichannels.Scenario{Role: "channel", Kind: "cores", Bits: 32}).Validate(); err != nil {
+		t.Errorf("BenchmarkRunScenario spec: %v", err)
+	}
+
+	data, err := os.ReadFile("examples/sweeps/specs/table6_processor_mitigation.json")
+	if err != nil {
+		t.Fatalf("BenchmarkSweepTable6 spec file: %v", err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		t.Fatalf("BenchmarkSweepTable6 spec: %v", err)
+	}
+	if n, err := sw.CountCells(); err != nil || n != 88 {
+		t.Errorf("table6 sweep expands to %d cells (%v), benchmark asserts 88", n, err)
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulator performance:

@@ -53,6 +53,8 @@ func main() {
 		err = scenarioCmd(os.Args[2:])
 	case "sweep":
 		err = sweepCmd(os.Args[2:])
+	case "store":
+		err = storeCmd(os.Args[2:])
 	case "serve":
 		err = serveCmd(os.Args[2:])
 	case "demo":
@@ -79,17 +81,21 @@ func usage() {
   ichannels exp <id>|all [-seed N]    regenerate paper figures/tables (serial)
   ichannels run [ids...] [--all] [-parallel N] [-seed N] [-json]
                                       batch experiments on a worker pool
-  ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson]
+  ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]]
                                       run declarative scenario spec(s) (object or array per file)
   ichannels scenario schema           print the scenario spec JSON schema
-  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson]
-                                      expand a parameter grid and run it (streaming, grouped aggregate)
+  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]]
+                                      expand a parameter grid and run it (streaming, grouped aggregate;
+                                      -store persists cells, -resume serves surviving cells from it)
   ichannels sweep expand <sweep.json|-> [-json]
                                       print a grid's expanded cells without running them
   ichannels sweep schema              print the sweep spec JSON schema
-  ichannels serve [-addr HOST:PORT]   HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
+  ichannels store ls|verify|gc <dir> [-json]
+                                      list, integrity-check, or clean a result store directory
+  ichannels serve [-addr HOST:PORT] [-store DIR]
+                                      HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
                                       POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema
-                                      (+ legacy /experiments, /run/{name})
+                                      (+ legacy /experiments, /run/{name}; -store = durable result tier)
   ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -226,6 +232,8 @@ func scenarioRun(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed (scenarios that pin no seed derive theirs from it)")
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON batch instead of the comparison table")
 	ndjsonOut := fs.Bool("ndjson", false, "emit one JSON outcome per line (the HTTP v1 batch framing)")
+	storeDir := fs.String("store", "", "persist results to this store directory")
+	resume := fs.Bool("resume", false, "serve scenarios the store already holds instead of recomputing them")
 	files, err := splitFilesAndFlags("scenario run", args, fs)
 	if err != nil {
 		return err
@@ -235,6 +243,10 @@ func scenarioRun(args []string) error {
 	}
 	if *jsonOut && *ndjsonOut {
 		return errors.New("scenario run: give either -json or -ndjson, not both")
+	}
+	st, err := openRunStore("scenario run", *storeDir, *resume)
+	if err != nil {
+		return err
 	}
 
 	var specs []ichannels.Scenario
@@ -259,7 +271,7 @@ func scenarioRun(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	batch, err := ichannels.RunScenarios(ctx, ichannels.ScenarioBatchOptions{
-		Scenarios: specs, BaseSeed: *seed, Parallel: *parallel,
+		Scenarios: specs, BaseSeed: *seed, Parallel: *parallel, Store: st,
 	})
 	if err != nil {
 		return err
@@ -346,6 +358,8 @@ func sweepRun(args []string) error {
 	seed := fs.Int64("seed", 1, "base seed (cells that pin no seed derive theirs from it)")
 	jsonOut := fs.Bool("json", false, "emit the machine-readable summary (cells + aggregate) instead of text")
 	ndjsonOut := fs.Bool("ndjson", false, "stream one JSON outcome per cell plus a final aggregate line (the HTTP v1 framing)")
+	storeDir := fs.String("store", "", "persist cell results to this store directory")
+	resume := fs.Bool("resume", false, "serve cells the store already holds instead of recomputing them (resume a killed sweep)")
 	sw, err := loadSweep("sweep run", args, fs)
 	if err != nil {
 		return err
@@ -353,10 +367,14 @@ func sweepRun(args []string) error {
 	if *jsonOut && *ndjsonOut {
 		return errors.New("sweep run: give either -json or -ndjson, not both")
 	}
+	st, err := openRunStore("sweep run", *storeDir, *resume)
+	if err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := ichannels.SweepOptions{BaseSeed: *seed, Parallel: *parallel}
+	opts := ichannels.SweepOptions{BaseSeed: *seed, Parallel: *parallel}.WithStore(st)
 	var enc *json.Encoder
 	if *ndjsonOut {
 		enc = json.NewEncoder(os.Stdout)
@@ -416,19 +434,129 @@ func sweepExpand(args []string) error {
 	return nil
 }
 
+// openRunStore opens the optional -store/-resume pair the scenario and
+// sweep run commands share: no -store means no persistence, -store
+// alone persists but recomputes everything (re-verifying determinism),
+// -store with -resume serves already-materialized results from disk.
+func openRunStore(cmd, dir string, resume bool) (ichannels.ResultStore, error) {
+	if dir == "" {
+		if resume {
+			return nil, fmt.Errorf("%s: -resume needs -store DIR (nothing to resume from)", cmd)
+		}
+		return nil, nil
+	}
+	st, err := ichannels.OpenStore(dir)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", cmd, err)
+	}
+	if !resume {
+		return ichannels.WriteOnlyStore(st), nil
+	}
+	return st, nil
+}
+
+// storeCmd dispatches the result-store maintenance subcommands.
+func storeCmd(args []string) error {
+	if len(args) < 1 {
+		return errors.New("store: missing subcommand (ls, verify, or gc)")
+	}
+	sub := args[0]
+	switch sub {
+	case "ls", "verify", "gc":
+	default:
+		return fmt.Errorf("store: unknown subcommand %q (ls, verify, or gc)", sub)
+	}
+	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	dirs, err := splitFilesAndFlags("store "+sub, args[1:], fs)
+	if err != nil {
+		return err
+	}
+	if len(dirs) != 1 {
+		return fmt.Errorf("store %s: give exactly one store directory", sub)
+	}
+	if _, err := os.Stat(dirs[0]); err != nil {
+		return fmt.Errorf("store %s: %w", sub, err)
+	}
+	st, err := ichannels.OpenStore(dirs[0])
+	if err != nil {
+		return err
+	}
+	emit := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	switch sub {
+	case "ls":
+		entries, err := st.List()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(entries)
+		}
+		var total int64
+		for _, e := range entries {
+			fmt.Printf("%-24s %-12d %8d\n", e.Key.Hash, e.Key.Seed, e.Size)
+			total += e.Size
+		}
+		fmt.Printf("%d entries, %d bytes\n", len(entries), total)
+	case "verify":
+		rep, err := st.Verify()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := emit(rep); err != nil {
+				return err
+			}
+		} else {
+			for _, p := range rep.Problems {
+				fmt.Printf("CORRUPT %s: %s\n", p.Path, p.Err)
+			}
+			fmt.Printf("%d entries, %d bytes, %d corrupt, %d stray files\n",
+				rep.Entries, rep.Bytes, len(rep.Problems), rep.Stray)
+		}
+		if len(rep.Problems) > 0 {
+			return fmt.Errorf("store verify: %d corrupt entries (run 'ichannels store gc %s' to remove them)", len(rep.Problems), dirs[0])
+		}
+	case "gc":
+		rep, err := st.GC()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(rep)
+		}
+		fmt.Printf("removed %d corrupt entries and %d stray files (%d bytes); %d entries kept\n",
+			rep.RemovedCorrupt, rep.RemovedStray, rep.ReclaimedBytes, rep.Kept)
+	}
+	return nil
+}
+
 // serveCmd runs the HTTP experiment server until interrupted.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
+	storeDir := fs.String("store", "", "durable result store directory (two-tier cache: memory over disk)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	handler := ichannels.NewExperimentServer()
+	if *storeDir != "" {
+		st, err := ichannels.OpenStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		handler = ichannels.NewExperimentServerWithStore(st)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           ichannels.NewExperimentServer(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

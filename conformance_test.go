@@ -1,0 +1,322 @@
+package ichannels_test
+
+// Cross-surface conformance suite: for every checked-in example spec,
+// the CLI (ichannels scenario run / sweep run -ndjson), the HTTP v1 API
+// (POST /v1/scenarios, POST /v1/sweeps), and the Go API must emit
+// byte-identical result envelopes for the same seed — with a cold
+// store, a warm store, and across surfaces sharing one store. This is
+// the determinism contract's one test that spans all three surfaces.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ichannels"
+)
+
+// cliOnce builds the real CLI binary once per test process; every
+// conformance subtest execs it the way a user would. TestMain removes
+// the build directory after the run.
+var cliOnce struct {
+	sync.Once
+	dir  string
+	path string
+	err  error
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if cliOnce.dir != "" {
+		os.RemoveAll(cliOnce.dir)
+	}
+	os.Exit(code)
+}
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "ichannels-cli-")
+		if err != nil {
+			cliOnce.err = err
+			return
+		}
+		cliOnce.dir = dir
+		bin := filepath.Join(dir, "ichannels")
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/ichannels").CombinedOutput()
+		if err != nil {
+			cliOnce.err = fmt.Errorf("building CLI: %v\n%s", err, out)
+			return
+		}
+		cliOnce.path = bin
+	})
+	if cliOnce.err != nil {
+		t.Fatal(cliOnce.err)
+	}
+	return cliOnce.path
+}
+
+// runCLI execs the built binary and returns its stdout lines.
+func runCLI(t *testing.T, args ...string) [][]byte {
+	t.Helper()
+	cmd := exec.Command(buildCLI(t), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("ichannels %s: %v\nstderr: %s", strings.Join(args, " "), err, stderr.String())
+	}
+	var lines [][]byte
+	for _, ln := range bytes.Split(stdout.Bytes(), []byte("\n")) {
+		if len(bytes.TrimSpace(ln)) > 0 {
+			lines = append(lines, ln)
+		}
+	}
+	return lines
+}
+
+// wireLine is the common shape of one outcome on any surface: the CLI
+// batch NDJSON line, the HTTP batch/sweep NDJSON line, and the HTTP
+// single-scenario response all carry seed, cached, and the result
+// envelope.
+type wireLine struct {
+	Seed   int64           `json:"seed"`
+	Cached bool            `json:"cached"`
+	Error  json.RawMessage `json:"error,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// parseWireLine decodes and compacts one outcome line (the HTTP
+// single-object response is indented; compaction only strips
+// whitespace, never reorders fields).
+func parseWireLine(t *testing.T, line []byte) (wireLine, []byte) {
+	t.Helper()
+	var wl wireLine
+	if err := json.Unmarshal(line, &wl); err != nil {
+		t.Fatalf("outcome line %s: %v", line, err)
+	}
+	if len(wl.Error) > 0 {
+		t.Fatalf("outcome carries an error: %s", line)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, wl.Result); err != nil {
+		t.Fatal(err)
+	}
+	return wl, buf.Bytes()
+}
+
+// goReference runs the specs through the Go API and returns the
+// marshaled result bytes plus effective seeds, the reference every
+// other surface must match.
+func goReference(t *testing.T, specs []ichannels.Scenario) (results [][]byte, seeds []int64) {
+	t.Helper()
+	batch, err := ichannels.RunScenarios(context.Background(), ichannels.ScenarioBatchOptions{
+		Scenarios: specs, BaseSeed: 1, Parallel: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch.Results {
+		r := &batch.Results[i]
+		if r.Err != nil {
+			t.Fatalf("go api: %s: %v", r.Scenario.Describe(), r.Err)
+		}
+		b, err := json.Marshal(r.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, b)
+		seeds = append(seeds, r.Seed)
+	}
+	return results, seeds
+}
+
+// assertSurface compares one surface's outcome lines against the Go
+// reference and checks every line's cached marker.
+func assertSurface(t *testing.T, surface string, lines [][]byte, want [][]byte, seeds []int64, wantCached bool) {
+	t.Helper()
+	if len(lines) != len(want) {
+		t.Fatalf("%s: %d outcomes, want %d", surface, len(lines), len(want))
+	}
+	for i, ln := range lines {
+		wl, res := parseWireLine(t, ln)
+		if wl.Seed != seeds[i] {
+			t.Errorf("%s outcome %d: seed %d, want %d", surface, i, wl.Seed, seeds[i])
+		}
+		if wl.Cached != wantCached {
+			t.Errorf("%s outcome %d: cached=%v, want %v", surface, i, wl.Cached, wantCached)
+		}
+		if !bytes.Equal(res, want[i]) {
+			t.Errorf("%s outcome %d result bytes differ:\n%s\nwant:\n%s", surface, i, res, want[i])
+		}
+	}
+}
+
+// postNDJSON posts body and returns the response's non-empty lines.
+func postNDJSON(t *testing.T, ts *httptest.Server, path string, body []byte) [][]byte {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, buf.String())
+	}
+	var lines [][]byte
+	for _, ln := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if len(bytes.TrimSpace(ln)) > 0 {
+			lines = append(lines, ln)
+		}
+	}
+	return lines
+}
+
+// specFiles globs one example spec directory, failing if it is empty —
+// a renamed directory must not silently skip the suite.
+func specFiles(t *testing.T, pattern string) []string {
+	t.Helper()
+	files, err := filepath.Glob(pattern)
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no spec files match %s (err=%v)", pattern, err)
+	}
+	return files
+}
+
+// TestConformanceScenarios: every checked-in scenario spec produces
+// identical result bytes from the Go API, the CLI, and HTTP — cold
+// store, warm store, and a server warming from the CLI's store.
+func TestConformanceScenarios(t *testing.T) {
+	for _, f := range specFiles(t, "examples/scenarios/specs/*.json") {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs, isArray, err := ichannels.ParseScenarioSpecs(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, seeds := goReference(t, specs)
+
+			storeDir := t.TempDir()
+			args := []string{"scenario", "run", f, "-ndjson", "-parallel", "4", "-store", storeDir, "-resume"}
+			cold := runCLI(t, args...)
+			assertSurface(t, "cli-cold", cold, want, seeds, false)
+			warm := runCLI(t, args...)
+			assertSurface(t, "cli-warm", warm, want, seeds, true)
+
+			// A fresh server sharing the CLI's store serves every
+			// scenario from disk; a storeless server recomputes —
+			// both must produce the same bytes.
+			shared := httptest.NewServer(newStoreServer(t, storeDir))
+			defer shared.Close()
+			assertSurface(t, "http-warm", postScenarios(t, shared, data, isArray), want, seeds, true)
+			coldSrv := httptest.NewServer(ichannels.NewExperimentServer())
+			defer coldSrv.Close()
+			assertSurface(t, "http-cold", postScenarios(t, coldSrv, data, isArray), want, seeds, false)
+		})
+	}
+}
+
+// newStoreServer opens a result store and serves the v1 API over it.
+func newStoreServer(t *testing.T, dir string) http.Handler {
+	t.Helper()
+	st, err := ichannels.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ichannels.NewExperimentServerWithStore(st)
+}
+
+// postScenarios posts a spec payload to /v1/scenarios and returns one
+// line per outcome (the single-object response becomes one line).
+func postScenarios(t *testing.T, ts *httptest.Server, data []byte, isArray bool) [][]byte {
+	t.Helper()
+	lines := postNDJSON(t, ts, "/v1/scenarios", data)
+	if !isArray {
+		// The single-object response is one indented JSON document.
+		return [][]byte{bytes.Join(lines, []byte("\n"))}
+	}
+	return lines
+}
+
+// TestConformanceSweeps: every checked-in sweep spec streams identical
+// per-cell result bytes and a byte-identical trailing aggregate line
+// from the Go API, the CLI, and HTTP, cold and warm.
+func TestConformanceSweeps(t *testing.T) {
+	for _, f := range specFiles(t, "examples/sweeps/specs/*.json") {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sw, err := ichannels.ParseSweepSpec(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Go API reference: per-cell result bytes in expansion
+			// order plus the aggregate's NDJSON framing.
+			var want [][]byte
+			var seeds []int64
+			res, err := ichannels.RunSweep(context.Background(), sw, ichannels.SweepOptions{
+				BaseSeed: 1, Parallel: 4,
+				OnCell: func(o ichannels.SweepCellOutcome) error {
+					if o.Err != nil {
+						return o.Err
+					}
+					b, err := json.Marshal(o.Result)
+					if err != nil {
+						return err
+					}
+					want = append(want, b)
+					seeds = append(seeds, o.Seed)
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var aggBuf bytes.Buffer
+			if err := ichannels.WriteSweepAggregateLine(&aggBuf, res.Aggregate); err != nil {
+				t.Fatal(err)
+			}
+			wantAgg := bytes.TrimRight(aggBuf.Bytes(), "\n")
+
+			checkStream := func(surface string, lines [][]byte, cached bool) {
+				t.Helper()
+				if len(lines) != len(want)+1 {
+					t.Fatalf("%s: %d lines, want %d cells + aggregate", surface, len(lines), len(want))
+				}
+				assertSurface(t, surface, lines[:len(lines)-1], want, seeds, cached)
+				if agg := lines[len(lines)-1]; !bytes.Equal(agg, wantAgg) {
+					t.Errorf("%s aggregate differs:\n%s\nwant:\n%s", surface, agg, wantAgg)
+				}
+			}
+
+			storeDir := t.TempDir()
+			args := []string{"sweep", "run", f, "-ndjson", "-parallel", "4", "-store", storeDir, "-resume"}
+			checkStream("cli-cold", runCLI(t, args...), false)
+			checkStream("cli-warm", runCLI(t, args...), true)
+
+			shared := httptest.NewServer(newStoreServer(t, storeDir))
+			defer shared.Close()
+			checkStream("http-warm", postNDJSON(t, shared, "/v1/sweeps", data), true)
+			coldSrv := httptest.NewServer(ichannels.NewExperimentServer())
+			defer coldSrv.Close()
+			checkStream("http-cold", postNDJSON(t, coldSrv, "/v1/sweeps", data), false)
+		})
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"ichannels/internal/scenario"
 	"ichannels/internal/serve"
 	"ichannels/internal/soc"
+	"ichannels/internal/store"
 	"ichannels/internal/sweep"
 	"ichannels/internal/trace"
 	"ichannels/internal/units"
@@ -381,6 +382,50 @@ func ParseScenarioSpecs(data []byte) (specs []Scenario, isArray bool, err error)
 // and GET /v1/sweeps/schema for parameter grids) plus the deprecated
 // legacy routes GET /experiments and POST /run/{name}?seed=N.
 func NewExperimentServer() http.Handler { return serve.New(serve.Options{}).Handler() }
+
+// NewExperimentServerWithStore is NewExperimentServer with a durable
+// result store under the in-memory cache: memory misses are served
+// from the store before computing, computed results are persisted, and
+// a restarted server warms from disk.
+func NewExperimentServerWithStore(st ResultStore) http.Handler {
+	return serve.New(serve.Options{Store: st}).Handler()
+}
+
+// ---- Result store: the durable (scenario hash, seed) corpus ----
+
+// ResultStore is the pluggable persistence contract every execution
+// layer accepts: results are content-addressed by (scenario hash,
+// effective seed) and immutable by the determinism contract. Set it on
+// ScenarioBatchOptions/ScenarioStreamOptions/SweepOptions (directly or
+// via their WithStore methods) to make runs fetch-or-compute, or hand
+// it to NewExperimentServerWithStore.
+type ResultStore = store.Store
+
+// ResultStoreKey identifies one stored result.
+type ResultStoreKey = store.Key
+
+// FSResultStore is the filesystem ResultStore: one atomically written,
+// checksummed, versioned envelope per result under a root directory.
+type FSResultStore = store.FS
+
+// StoreEntry, StoreVerifyReport and StoreGCReport are the maintenance
+// views of a filesystem store (List, Verify, GC).
+type (
+	StoreEntry        = store.Entry
+	StoreVerifyReport = store.VerifyReport
+	StoreGCReport     = store.GCReport
+)
+
+// OpenStore creates (if needed) and opens a filesystem result store
+// rooted at dir — what `ichannels sweep run -store DIR` and
+// `ichannels serve -store DIR` open.
+func OpenStore(dir string) (*FSResultStore, error) { return store.Open(dir) }
+
+// WriteOnlyStore returns a view of st whose reads always miss: runs
+// persist every result but recompute all of them — how `-store`
+// without `-resume` re-verifies determinism while (re)materializing
+// the corpus.
+func WriteOnlyStore(st ResultStore) ResultStore { return store.WriteOnly(st) }
 
 // ---- Streaming execution ----
 

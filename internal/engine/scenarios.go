@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ichannels/internal/scenario"
+	"ichannels/internal/store"
 )
 
 // ScenarioRunFunc executes one scenario with an explicit seed. The
@@ -29,20 +30,36 @@ type ScenarioOptions struct {
 	Parallel int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run ScenarioRunFunc
+	// Store, when set, serves scenarios whose (hash, seed) result it
+	// already holds and persists the rest — see StreamOptions.Store.
+	Store store.Store
 	// OnResult, when set, is called with each scenario's batch index as
 	// its outcome is emitted, in batch order (from the calling
 	// goroutine). The result slot is fully populated before the call.
 	OnResult func(i int)
 }
 
+// WithStore returns the options with the result store set — the fluent
+// form the facade documents.
+func (o ScenarioOptions) WithStore(st store.Store) ScenarioOptions {
+	o.Store = st
+	return o
+}
+
 // ScenarioOutcome is one scenario's slot in a batch.
 type ScenarioOutcome struct {
 	// Scenario is the normalized spec that ran.
 	Scenario scenario.Scenario
+	// Hash is the spec's content hash, computed once per outcome (the
+	// store key, seed derivation, and sweep cell framing all reuse it).
+	Hash string
 	// Seed is the effective seed (spec seed or derived).
-	Seed    int64
-	Result  *scenario.Result
-	Err     error
+	Seed   int64
+	Result *scenario.Result
+	Err    error
+	// Cached reports the result was served from the configured store
+	// instead of computed (the bytes are identical either way).
+	Cached  bool
 	Elapsed time.Duration
 }
 
@@ -65,7 +82,14 @@ type ScenarioBatch struct {
 // ("seed": N) and replayed: spec seeds are non-negative and zero means
 // "default".
 func DeriveScenarioSeed(base int64, s scenario.Scenario) int64 {
-	d := DeriveSeed(base, "scenario:"+s.Hash()) & math.MaxInt64
+	return deriveSeedFromHash(base, s.Hash())
+}
+
+// deriveSeedFromHash is DeriveScenarioSeed for callers that already
+// hold the content hash (the stream dispatcher computes it once per
+// slot).
+func deriveSeedFromHash(base int64, hash string) int64 {
+	d := DeriveSeed(base, "scenario:"+hash) & math.MaxInt64
 	if d == 0 {
 		d = 1
 	}
@@ -107,6 +131,7 @@ func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, er
 		BaseSeed: opts.BaseSeed,
 		Parallel: b.Parallel,
 		Run:      opts.Run,
+		Store:    opts.Store,
 		Emit: func(o ScenarioOutcome) error {
 			b.Results[emitted] = o
 			if opts.OnResult != nil {
@@ -123,12 +148,14 @@ func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, er
 			// context error.
 			for i := emitted; i < len(opts.Scenarios); i++ {
 				n := opts.Scenarios[i].Normalized()
+				hash := n.Hash()
 				seed := n.Seed
 				if seed == 0 {
-					seed = DeriveScenarioSeed(opts.BaseSeed, n)
+					seed = deriveSeedFromHash(opts.BaseSeed, hash)
 				}
 				r := &b.Results[i]
 				r.Scenario = n
+				r.Hash = hash
 				r.Seed = seed
 				r.Err = ctxErr
 				if opts.OnResult != nil {
@@ -171,6 +198,7 @@ func (b *ScenarioBatch) Failed() []ScenarioOutcome {
 type scenarioOutcomeJSON struct {
 	Scenario  scenario.Scenario `json:"scenario"`
 	Seed      int64             `json:"seed"`
+	Cached    bool              `json:"cached"`
 	ElapsedUS float64           `json:"elapsed_us"`
 	Error     string            `json:"error,omitempty"`
 	Result    *scenario.Result  `json:"result,omitempty"`
@@ -189,6 +217,7 @@ func (b *ScenarioBatch) outcomeJSON(i int) scenarioOutcomeJSON {
 	oj := scenarioOutcomeJSON{
 		Scenario:  r.Scenario,
 		Seed:      r.Seed,
+		Cached:    r.Cached,
 		ElapsedUS: float64(r.Elapsed) / float64(time.Microsecond),
 		Result:    r.Result,
 	}

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ichannels/internal/scenario"
+	"ichannels/internal/store"
 )
 
 // DefaultStreamWindowFactor sizes the reorder window when
@@ -35,6 +37,15 @@ type StreamOptions struct {
 	Window int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run ScenarioRunFunc
+	// Store, when set, is consulted before computing each scenario and
+	// persisted to after: a stored (hash, seed) result is emitted with
+	// Cached=true instead of recomputing, and every freshly computed
+	// success is written back. Because stored results are byte-identical
+	// to recomputed ones (the determinism contract), the emitted bytes
+	// do not depend on which cells hit — only wall-clock does. An
+	// unreadable entry counts as a miss (StreamStats.StoreErrors) and
+	// the cell recomputes; store errors never fail a scenario.
+	Store store.Store
 	// Emit receives each outcome in stream order, from the caller's
 	// goroutine. A non-nil error stops the stream (in-flight work is
 	// drained, nothing new starts) and is returned by StreamScenarios.
@@ -47,6 +58,13 @@ type StreamStats struct {
 	Emitted int
 	// Failed counts emitted outcomes whose runner returned an error.
 	Failed int
+	// Cached counts emitted outcomes served from the result store
+	// instead of computed.
+	Cached int
+	// StoreErrors counts store operations (get or put) that failed;
+	// each was degraded to a miss or a skipped write, never a failed
+	// scenario.
+	StoreErrors int
 	// Parallel is the effective worker count.
 	Parallel int
 	// Elapsed is the stream wall-clock time.
@@ -112,6 +130,7 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 		srcErr  error // invalid-spec or cancellation error, owned by the dispatcher
 	)
 
+	var storeErrs atomic.Int64
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -123,7 +142,7 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 					o.Err = err
 				} else {
 					t0 := time.Now()
-					o.Result, o.Err = runScenarioIsolated(ctx, runFn, o.Scenario, o.Seed)
+					runSlot(ctx, runFn, opts.Store, o, &storeErrs)
 					o.Elapsed = time.Since(t0)
 				}
 				close(sl.ready)
@@ -153,9 +172,10 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 			}
 			sl := &streamSlot{ready: make(chan struct{})}
 			sl.outcome.Scenario = n
+			sl.outcome.Hash = n.Hash() // once per slot; seed, store, and framing reuse it
 			sl.outcome.Seed = n.Seed
 			if sl.outcome.Seed == 0 {
-				sl.outcome.Seed = DeriveScenarioSeed(opts.BaseSeed, n)
+				sl.outcome.Seed = deriveSeedFromHash(opts.BaseSeed, sl.outcome.Hash)
 			}
 			// The pending send blocks once Window slots await emission —
 			// that back-pressure is the memory bound.
@@ -184,6 +204,9 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 		if sl.outcome.Err != nil {
 			stats.Failed++
 		}
+		if sl.outcome.Cached {
+			stats.Cached++
+		}
 		if opts.Emit != nil {
 			if err := opts.Emit(sl.outcome); err != nil {
 				emitErr = err
@@ -192,6 +215,7 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 		}
 	}
 	wg.Wait()
+	stats.StoreErrors = int(storeErrs.Load())
 	stats.Elapsed = time.Since(start)
 	if emitErr != nil {
 		return stats, emitErr
@@ -200,4 +224,30 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 		return stats, srcErr
 	}
 	return stats, nil
+}
+
+// runSlot fills one outcome: fetch from the store when one is
+// configured and the entry is intact, compute otherwise, and persist
+// fresh successes back. Only successful results are stored — errors are
+// deterministic too, but pinning them to disk would make a transient
+// environmental failure (out of memory, a panic from a since-fixed bug)
+// permanent.
+func runSlot(ctx context.Context, run ScenarioRunFunc, st store.Store, o *ScenarioOutcome, storeErrs *atomic.Int64) {
+	var key store.Key
+	if st != nil {
+		key = store.Key{Hash: o.Hash, Seed: o.Seed}
+		res, ok, err := st.Get(key)
+		if err != nil {
+			storeErrs.Add(1) // unreadable entry: recompute it
+		} else if ok {
+			o.Result, o.Cached = res, true
+			return
+		}
+	}
+	o.Result, o.Err = runScenarioIsolated(ctx, run, o.Scenario, o.Seed)
+	if st != nil && o.Err == nil {
+		if err := st.Put(key, o.Result); err != nil {
+			storeErrs.Add(1)
+		}
+	}
 }

@@ -39,6 +39,11 @@
 // (Options.MaxCacheEntries, LRU eviction — hits refresh recency, so a
 // sweep session's hot repeated cells outlive one-shot grid neighbours)
 // so seed sweeps cannot grow the process without limit.
+//
+// With Options.Store set the cache becomes two-tier: a memory miss
+// consults the durable result store (internal/store) before computing,
+// and every computed success is persisted, so a restarted server warms
+// from disk and eviction never discards work — only the memory copy.
 package serve
 
 import (
@@ -50,12 +55,14 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"ichannels/internal/engine"
 	"ichannels/internal/exp"
 	"ichannels/internal/scenario"
+	"ichannels/internal/store"
 )
 
 // DefaultMaxCacheEntries bounds the result cache when Options leaves
@@ -67,6 +74,12 @@ const MaxBatchScenarios = 256
 
 // maxBodyBytes bounds one request body.
 const maxBodyBytes = 4 << 20
+
+// legacyKeyPrefix namespaces the deprecated /run/{name} route's cache
+// keys: experiment IDs are not scenario content hashes, so they share
+// the in-memory cache under this reserved prefix and never enter the
+// durable store.
+const legacyKeyPrefix = "exp:"
 
 // Error codes of the structured error envelope.
 const (
@@ -97,6 +110,13 @@ type Options struct {
 	// requests (coalesced duplicates share one slot). Zero means
 	// GOMAXPROCS, negative means unbounded.
 	MaxConcurrent int
+	// Store, when set, is the durable tier under the in-memory cache:
+	// a memory miss consults the store before computing, and every
+	// freshly computed success is persisted. A restarted server warms
+	// from disk — re-posting a sweep recomputes nothing — and LRU
+	// eviction costs only memory, never the corpus. An unreadable
+	// entry degrades to a miss; a failed write to a skipped persist.
+	Store store.Store
 }
 
 // Server runs scenarios on demand and caches their results.
@@ -105,12 +125,15 @@ type Server struct {
 	runner   scenario.Runner // scenario executor (ExpRun wired to run)
 	maxCache int
 	sem      chan struct{} // nil = unbounded; else bounds running simulations
+	store    store.Store   // nil = memory-only; else the durable tier
 
-	mu     sync.Mutex
-	cache  map[cacheKey]*cacheEntry
-	order  []cacheKey // recency order, oldest first, for LRU eviction
-	hits   int64
-	misses int64
+	mu         sync.Mutex
+	cache      map[cacheKey]*cacheEntry
+	order      []cacheKey // recency order, oldest first, for LRU eviction
+	hits       int64
+	misses     int64
+	storeHits  int64
+	storeFails int64
 }
 
 // cacheKey identifies one deterministic result: the scenario's content
@@ -134,6 +157,16 @@ type cacheEntry struct {
 	result  *scenario.Result
 	err     error
 	elapsed time.Duration
+	// fromStore marks a result fetched from the durable tier instead
+	// of computed (set before ready closes; read only after it).
+	fromStore bool
+}
+
+// served reports whether the entry was already complete in memory
+// (memCached) or filled from the store — the conditions under which a
+// response is marked "cached". Call only after the entry is ready.
+func (e *cacheEntry) served(memCached bool) bool {
+	return memCached || e.fromStore
 }
 
 func newCacheEntry() *cacheEntry { return &cacheEntry{ready: make(chan struct{})} }
@@ -170,6 +203,7 @@ func New(opts Options) *Server {
 		runner:   scenario.Runner{ExpRun: run},
 		maxCache: maxCache,
 		sem:      sem,
+		store:    opts.Store,
 		cache:    map[cacheKey]*cacheEntry{},
 	}
 }
@@ -256,19 +290,66 @@ func (s *Server) touchLocked(key cacheKey) {
 	}
 }
 
-// compute runs fn into ent exactly once, bounded by the simulation
-// semaphore, and wakes all waiters.
-func (s *Server) compute(ent *cacheEntry, fn func() (*scenario.Result, error)) {
+// compute fills ent for key exactly once and wakes all waiters: fetch
+// from the durable tier when it holds the key, run fn (bounded by the
+// simulation semaphore) otherwise, persisting fresh successes back.
+// Store reads happen outside the semaphore — a disk hit must not queue
+// behind running simulations.
+func (s *Server) compute(key cacheKey, ent *cacheEntry, fn func() (*scenario.Result, error)) {
 	ent.once.Do(func() {
+		defer close(ent.ready)
+		// The legacy /run/{name} shim keys on an "exp:" pseudo-hash,
+		// not a scenario content hash; those entries stay memory-only
+		// so the durable corpus holds only content-addressed results
+		// (v1 experiment-role scenarios persist under real hashes).
+		useStore := s.store != nil && !strings.HasPrefix(key.Hash, legacyKeyPrefix)
+		if useStore {
+			t0 := time.Now()
+			res, ok, err := s.store.Get(store.Key(key))
+			if err != nil {
+				s.countStore(false) // unreadable entry: recompute
+			} else if ok {
+				ent.result, ent.fromStore = res, true
+				ent.elapsed = time.Since(t0)
+				s.countStore(true)
+				return
+			}
+		}
 		if s.sem != nil {
 			s.sem <- struct{}{}
 			defer func() { <-s.sem }()
 		}
+		// elapsed_us reports compute (or disk-read) cost only — the
+		// semaphore wait above is queueing, not simulation.
 		t0 := time.Now()
 		ent.result, ent.err = fn()
 		ent.elapsed = time.Since(t0)
-		close(ent.ready)
+		if useStore && ent.err == nil {
+			if err := s.store.Put(store.Key(key), ent.result); err != nil {
+				s.countStore(false)
+			}
+		}
 	})
+}
+
+// countStore tallies durable-tier activity for StoreStats.
+func (s *Server) countStore(hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.storeHits++
+	} else {
+		s.storeFails++
+	}
+}
+
+// StoreStats reports durable-tier hits and degraded operations
+// (unreadable entries and failed writes) so far. Zeroes when no store
+// is configured.
+func (s *Server) StoreStats() (hits, failures int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storeHits, s.storeFails
 }
 
 // ---- wire envelopes ----
@@ -438,8 +519,9 @@ func (s *Server) v1Scenarios(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	hash := n.Hash()
-	ent, cached := s.entry(cacheKey{Hash: hash, Seed: seed})
-	s.compute(ent, func() (*scenario.Result, error) {
+	key := cacheKey{Hash: hash, Seed: seed}
+	ent, cached := s.entry(key)
+	s.compute(key, ent, func() (*scenario.Result, error) {
 		return s.runScenarioIsolated(r, n, seed)
 	})
 	if ent.err != nil {
@@ -448,7 +530,7 @@ func (s *Server) v1Scenarios(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, scenarioResponse{
-		Name: n.Name, Hash: hash, Seed: seed, Cached: cached,
+		Name: n.Name, Hash: hash, Seed: seed, Cached: ent.served(cached),
 		ElapsedUS: float64(ent.elapsed) / float64(time.Microsecond),
 		Result:    ent.result,
 	})
@@ -496,7 +578,7 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, specs []scenar
 	}
 	for i := range items {
 		it := items[i]
-		go s.compute(it.ent, func() (*scenario.Result, error) {
+		go s.compute(cacheKey{Hash: it.hash, Seed: it.seed}, it.ent, func() (*scenario.Result, error) {
 			return s.runScenarioIsolated(r, it.spec, it.seed)
 		})
 	}
@@ -515,7 +597,8 @@ func (s *Server) runBatch(w http.ResponseWriter, r *http.Request, specs []scenar
 			return
 		}
 		line := scenarioLine{
-			Index: i, Name: it.spec.Name, Hash: it.hash, Seed: it.seed, Cached: it.cached,
+			Index: i, Name: it.spec.Name, Hash: it.hash, Seed: it.seed,
+			Cached:    it.ent.served(it.cached),
 			ElapsedUS: float64(it.ent.elapsed) / float64(time.Microsecond),
 		}
 		if it.ent.err != nil {
@@ -585,8 +668,9 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		seed = 1
 	}
 
-	ent, cached := s.entry(cacheKey{Hash: "exp:" + name, Seed: seed})
-	s.compute(ent, func() (*scenario.Result, error) {
+	key := cacheKey{Hash: legacyKeyPrefix + name, Seed: seed}
+	ent, cached := s.entry(key)
+	s.compute(key, ent, func() (*scenario.Result, error) {
 		rep, err := engine.RunIsolated(s.run, name, seed)
 		if err != nil {
 			return nil, err
@@ -599,7 +683,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, runResponse{
 		ID: name, Section: e.Section, Desc: e.Desc, Seed: seed,
-		Cached:    cached,
+		Cached:    ent.served(cached),
 		ElapsedUS: float64(ent.elapsed) / float64(time.Microsecond),
 		Report:    ent.result.Report,
 	})

@@ -31,9 +31,10 @@ func (s *Server) v1SweepSchema(w http.ResponseWriter, r *http.Request) {
 	w.Write(scenario.SweepSchemaJSON())
 }
 
-// sweepLine is one NDJSON line of a sweep response: the sweep package's
-// cell framing plus the serving-side `cached` marker. Exactly one of
-// Error and Result is set.
+// sweepLine is one NDJSON line of a sweep response — the same framing
+// as sweep.CellLine, with the error carried as a structured envelope.
+// Cached marks a result served from the in-memory cache or the durable
+// store. Exactly one of Error and Result is set.
 type sweepLine struct {
 	Index     int               `json:"index"`
 	Name      string            `json:"name,omitempty"`
@@ -158,9 +159,10 @@ func (s *Server) v1Sweeps(w http.ResponseWriter, r *http.Request) {
 				seed = engine.DeriveScenarioSeed(baseSeed, cell.Scenario)
 			}
 			hash := cell.Scenario.Hash()
-			ent, cached := s.entry(cacheKey{Hash: hash, Seed: seed})
+			key := cacheKey{Hash: hash, Seed: seed}
+			ent, cached := s.entry(key)
 			n := cell.Scenario
-			go s.compute(ent, func() (*scenario.Result, error) {
+			go s.compute(key, ent, func() (*scenario.Result, error) {
 				return s.runScenarioIsolated(r, n, seed)
 			})
 			select {
@@ -186,7 +188,7 @@ func (s *Server) v1Sweeps(w http.ResponseWriter, r *http.Request) {
 		}
 		line := sweepLine{
 			Index: it.cell.Index, Name: it.cell.Scenario.Name, Axes: it.cell.Axes,
-			Hash: it.hash, Seed: it.seed, Cached: it.cached,
+			Hash: it.hash, Seed: it.seed, Cached: it.ent.served(it.cached),
 			ElapsedUS: float64(it.ent.elapsed) / float64(time.Microsecond),
 		}
 		if it.ent.err != nil {

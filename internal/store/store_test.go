@@ -1,0 +1,273 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ichannels/internal/scenario"
+)
+
+func testResult(seed int64) *scenario.Result {
+	return &scenario.Result{
+		Role: scenario.RoleChannel, Processor: "Cannon Lake", Kind: scenario.KindCores,
+		Hash: "0123456789abcdef", Seed: seed,
+		Bits: 4, SentBits: []int{1, 0, 1, 1}, DecodedBits: []int{1, 0, 1, 1},
+		ThroughputBPS: 3000.25, BER: 0.125, ElapsedSimUS: 1234.5,
+		Extra: map[string]float64{"calibration_gap_cycles": 4200},
+		Notes: []string{"test fixture"},
+	}
+}
+
+func openTest(t *testing.T) *FS {
+	t.Helper()
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	fs := openTest(t)
+	key := Key{Hash: "0123456789abcdef", Seed: 7}
+	if _, ok, err := fs.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	want := testResult(7)
+	if err := fs.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := fs.Get(key)
+	if !ok || err != nil {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	// The byte-identity contract must survive a store round-trip: the
+	// fetched result re-marshals to exactly the computed result's bytes.
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if !bytes.Equal(wb, gb) {
+		t.Errorf("round-trip bytes differ:\n put: %s\n got: %s", wb, gb)
+	}
+	// Overwriting an existing key (deterministic results make the bytes
+	// identical) must succeed.
+	if err := fs.Put(key, want); err != nil {
+		t.Errorf("re-put: %v", err)
+	}
+}
+
+func TestPutLeavesNoTemporaries(t *testing.T) {
+	fs := openTest(t)
+	for seed := int64(1); seed <= 4; seed++ {
+		if err := fs.Put(Key{Hash: "aabb304958aabbcc", Seed: seed}, testResult(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := filepath.WalkDir(fs.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(d.Name(), tmpPrefix) {
+			t.Errorf("leftover temporary %s", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corrupt flips one byte inside the stored result payload.
+func corrupt(t *testing.T, fs *FS, key Key) string {
+	t.Helper()
+	path := fs.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(data, []byte(`"ber":`))
+	if i < 0 {
+		t.Fatalf("no ber field in %s", data)
+	}
+	data[i+6] ^= 0x01 // '0' ↔ '1': keeps the JSON valid, changes the payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGetRejectsCorruption(t *testing.T) {
+	fs := openTest(t)
+	key := Key{Hash: "0123456789abcdef", Seed: 3}
+	if err := fs.Put(key, testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, fs, key)
+	if _, ok, err := fs.Get(key); ok || err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt entry: ok=%v err=%v, want checksum error", ok, err)
+	}
+}
+
+func TestGetRejectsWrongKeyAndVersion(t *testing.T) {
+	fs := openTest(t)
+	key := Key{Hash: "0123456789abcdef", Seed: 3}
+	if err := fs.Put(key, testResult(3)); err != nil {
+		t.Fatal(err)
+	}
+	// A renamed entry (same bytes, different key) must not be served.
+	moved := Key{Hash: "fedcba9876543210", Seed: 3}
+	if err := os.MkdirAll(filepath.Dir(fs.path(moved)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(fs.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fs.path(moved), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := fs.Get(moved); ok || err == nil || !strings.Contains(err.Error(), "identifies") {
+		t.Errorf("renamed entry: ok=%v err=%v, want identity error", ok, err)
+	}
+	// An unknown envelope version must be rejected, not guessed at.
+	bumped := bytes.Replace(data, []byte(`"version":1`), []byte(`"version":99`), 1)
+	if err := os.WriteFile(fs.path(key), bumped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := fs.Get(key); ok || err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: ok=%v err=%v, want version error", ok, err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := openTest(t)
+	keys := []Key{
+		{Hash: "bb00000000000000", Seed: 2},
+		{Hash: "aa00000000000000", Seed: 9},
+		{Hash: "aa00000000000000", Seed: 1},
+	}
+	for _, k := range keys {
+		if err := fs.Put(k, testResult(k.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("listed %d entries, want 3", len(entries))
+	}
+	want := []Key{
+		{Hash: "aa00000000000000", Seed: 1},
+		{Hash: "aa00000000000000", Seed: 9},
+		{Hash: "bb00000000000000", Seed: 2},
+	}
+	for i, e := range entries {
+		if e.Key != want[i] {
+			t.Errorf("entries[%d] = %v, want %v", i, e.Key, want[i])
+		}
+		if e.Size <= 0 {
+			t.Errorf("entries[%d] size %d", i, e.Size)
+		}
+	}
+}
+
+func TestVerifyAndGC(t *testing.T) {
+	fs := openTest(t)
+	good := Key{Hash: "0123456789abcdef", Seed: 1}
+	bad := Key{Hash: "0123456789abcdef", Seed: 2}
+	for _, k := range []Key{good, bad} {
+		if err := fs.Put(k, testResult(k.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt(t, fs, bad)
+	// A leftover temporary from a long-dead writer (backdated past the
+	// GC age margin) and a fresh one from a "live" writer.
+	stray := filepath.Join(fs.Dir(), "01", tmpPrefix+"orphan")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * gcTmpAge)
+	if err := os.Chtimes(stray, old, old); err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(fs.Dir(), "01", tmpPrefix+"live")
+	if err := os.WriteFile(live, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := fs.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries != 2 || len(rep.Problems) != 1 || rep.Stray != 2 {
+		t.Fatalf("verify report %+v, want 2 entries / 1 problem / 2 stray", rep)
+	}
+
+	gc, err := fs.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.RemovedCorrupt != 1 || gc.RemovedStray != 1 || gc.Kept != 1 || gc.ReclaimedBytes <= 0 {
+		t.Fatalf("gc report %+v", gc)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Errorf("abandoned temporary survived gc: %v", err)
+	}
+	if _, err := os.Stat(live); err != nil {
+		t.Errorf("live temporary removed by gc: %v", err)
+	}
+	os.Remove(live)
+	if _, ok, err := fs.Get(good); !ok || err != nil {
+		t.Errorf("good entry after gc: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := fs.Get(bad); ok || err != nil {
+		t.Errorf("corrupt entry after gc: ok=%v err=%v (want clean miss)", ok, err)
+	}
+	rep, err = fs.Verify()
+	if err != nil || len(rep.Problems) != 0 || rep.Stray != 0 {
+		t.Errorf("post-gc verify %+v err=%v", rep, err)
+	}
+}
+
+func TestWriteOnly(t *testing.T) {
+	fs := openTest(t)
+	wo := WriteOnly(fs)
+	key := Key{Hash: "0123456789abcdef", Seed: 5}
+	if err := wo.Put(key, testResult(5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := wo.Get(key); ok || err != nil {
+		t.Errorf("write-only get: ok=%v err=%v, want miss", ok, err)
+	}
+	if _, ok, err := fs.Get(key); !ok || err != nil {
+		t.Errorf("underlying get: ok=%v err=%v, want hit", ok, err)
+	}
+	if WriteOnly(nil) != nil {
+		t.Error("WriteOnly(nil) should stay nil")
+	}
+}
+
+func TestParseEntryName(t *testing.T) {
+	cases := []struct {
+		name string
+		key  Key
+		ok   bool
+	}{
+		{"0123456789abcdef-7.json", Key{"0123456789abcdef", 7}, true},
+		{"exp:fig10a-12.json", Key{"exp:fig10a", 12}, true},
+		{tmpPrefix + "12345", Key{}, false},
+		{"noseed.json", Key{}, false},
+		{"0123456789abcdef-7.txt", Key{}, false},
+		{"-7.json", Key{}, false},
+	}
+	for _, c := range cases {
+		key, ok := parseEntryName(c.name)
+		if ok != c.ok || key != c.key {
+			t.Errorf("parseEntryName(%q) = %v, %v; want %v, %v", c.name, key, ok, c.key, c.ok)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"ichannels/internal/engine"
 	"ichannels/internal/scenario"
 	"ichannels/internal/stats"
+	"ichannels/internal/store"
 )
 
 // Options configures a sweep run.
@@ -45,6 +46,11 @@ type Options struct {
 	Window int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run engine.ScenarioRunFunc
+	// Store, when set, serves cells whose (hash, seed) result it
+	// already holds (marked Cached) and persists freshly computed ones
+	// — how a killed sweep resumes from its surviving cells. See
+	// engine.StreamOptions.Store.
+	Store store.Store
 	// OnCell, when set, receives each cell outcome in expansion order
 	// (with the full result envelope) as it completes — the streaming
 	// hook the CLI's NDJSON mode and the HTTP layer print from. A
@@ -52,15 +58,24 @@ type Options struct {
 	OnCell func(CellOutcome) error
 }
 
+// WithStore returns the options with the result store set — the fluent
+// form the facade documents.
+func (o Options) WithStore(st store.Store) Options {
+	o.Store = st
+	return o
+}
+
 // CellOutcome is one completed grid cell: the cell (normalized spec +
 // axis labels), its content hash (computed once per cell), the
-// effective seed, and the run's result or error.
+// effective seed, and the run's result or error. Cached marks a result
+// served from the configured store instead of computed.
 type CellOutcome struct {
 	Cell    scenario.Cell
 	Hash    string
 	Seed    int64
 	Result  *scenario.Result
 	Err     error
+	Cached  bool
 	Elapsed time.Duration
 }
 
@@ -92,6 +107,10 @@ type Result struct {
 	Cells []CellSummary `json:"cells"`
 	// Failed counts cells whose runner returned an error.
 	Failed int `json:"failed"`
+	// Cached counts cells served from the result store instead of
+	// computed (wall-clock metadata: the cell bytes are identical
+	// either way).
+	Cached int `json:"cached"`
 	// Aggregate is the grouped reduction of the successful cells.
 	Aggregate *Table `json:"aggregate"`
 	// Elapsed is the sweep wall-clock time (nondeterministic).
@@ -149,13 +168,14 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 		Parallel: opts.Parallel,
 		Window:   opts.Window,
 		Run:      opts.Run,
+		Store:    opts.Store,
 		Emit: func(o engine.ScenarioOutcome) error {
 			queueMu.Lock()
 			cell := cellQueue[0]
 			cellQueue = cellQueue[1:]
 			queueMu.Unlock()
-			hash := cell.Scenario.Hash()
-			out := CellOutcome{Cell: cell, Hash: hash, Seed: o.Seed, Result: o.Result, Err: o.Err, Elapsed: o.Elapsed}
+			hash := o.Hash // computed once per slot by the engine dispatcher
+			out := CellOutcome{Cell: cell, Hash: hash, Seed: o.Seed, Result: o.Result, Err: o.Err, Cached: o.Cached, Elapsed: o.Elapsed}
 			s := CellSummary{
 				Index: cell.Index, Name: cell.Scenario.Name, Axes: cell.Axes,
 				Hash: hash, Seed: o.Seed,
@@ -184,6 +204,7 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 	}
 	res.Parallel = stats.Parallel
 	res.Failed = stats.Failed
+	res.Cached = stats.Cached
 	res.Elapsed = stats.Elapsed
 	res.Aggregate = agg.Table(res.Hash, opts.BaseSeed)
 	return res, nil
@@ -323,15 +344,18 @@ func (a *Aggregator) Table(hash string, baseSeed int64) *Table {
 }
 
 // CellLine is the NDJSON wire form of one streamed cell outcome — what
-// the CLI's -ndjson mode emits per cell (the HTTP layer adds a `cached`
-// field on top). Elapsed is wall clock; everything else is the
-// deterministic payload.
+// the CLI's -ndjson mode emits per cell, field-for-field the framing
+// POST /v1/sweeps streams (the HTTP layer carries its errors as a
+// structured envelope instead of a string). Cached and elapsed_us are
+// wall-clock serving metadata; everything else is the deterministic
+// payload.
 type CellLine struct {
 	Index     int               `json:"index"`
 	Name      string            `json:"name,omitempty"`
 	Axes      map[string]string `json:"axes"`
 	Hash      string            `json:"hash"`
 	Seed      int64             `json:"seed"`
+	Cached    bool              `json:"cached"`
 	ElapsedUS float64           `json:"elapsed_us"`
 	Error     string            `json:"error,omitempty"`
 	Result    *scenario.Result  `json:"result,omitempty"`
@@ -341,7 +365,7 @@ type CellLine struct {
 func LineOf(o CellOutcome) CellLine {
 	l := CellLine{
 		Index: o.Cell.Index, Name: o.Cell.Scenario.Name, Axes: o.Cell.Axes,
-		Hash: o.Hash, Seed: o.Seed,
+		Hash: o.Hash, Seed: o.Seed, Cached: o.Cached,
 		ElapsedUS: float64(o.Elapsed) / float64(time.Microsecond),
 	}
 	if o.Err != nil {
@@ -408,8 +432,8 @@ func (r *Result) WriteText(w io.Writer) error {
 
 // WriteTiming writes a wall-clock summary (intended for stderr).
 func (r *Result) WriteTiming(w io.Writer) {
-	fmt.Fprintf(w, "sweep %s: %d cells, %d failed, parallel %d, %.2fms total\n",
-		r.Hash, len(r.Cells), r.Failed, r.Parallel,
+	fmt.Fprintf(w, "sweep %s: %d cells, %d failed, %d cached, parallel %d, %.2fms total\n",
+		r.Hash, len(r.Cells), r.Failed, r.Cached, r.Parallel,
 		float64(r.Elapsed)/float64(time.Millisecond))
 }
 

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Delta is one metric's movement between two snapshots of the same
+// benchmark. FromZero marks a metric whose baseline was zero (or
+// absent — a zero-alloc benchmark and one measured without -benchmem
+// serialize identically), so no percentage exists: any nonzero new
+// value is reported as a regression rather than silently skipped.
+type Delta struct {
+	Name     string  `json:"name"`
+	Metric   string  `json:"metric"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	Pct      float64 `json:"pct"`
+	FromZero bool    `json:"from_zero,omitempty"`
+}
+
+// CompareReport classifies every benchmark shared by two snapshots.
+// It is report-only by design (the ROADMAP's fail-soft perf
+// trajectory): CI prints it into the log so regressions surface in
+// review, but a noisy runner cannot fail the build.
+type CompareReport struct {
+	Compared     int      `json:"compared"`
+	ThresholdPct float64  `json:"threshold_pct"`
+	Regressions  []Delta  `json:"regressions,omitempty"`
+	Improvements []Delta  `json:"improvements,omitempty"`
+	Added        []string `json:"added,omitempty"`
+	Removed      []string `json:"removed,omitempty"`
+}
+
+// compareMetrics are the per-op costs worth trending. Custom
+// b.ReportMetric values (BER, throughput, gaps) are simulation outputs,
+// not costs — the golden files guard those.
+var compareMetrics = []struct {
+	name string
+	get  func(*Entry) float64
+}{
+	{"ns/op", func(e *Entry) float64 { return e.NsPerOp }},
+	{"B/op", func(e *Entry) float64 { return e.BytesPerOp }},
+	{"allocs/op", func(e *Entry) float64 { return e.AllocsPerOp }},
+}
+
+// compareEntries classifies the movement of every shared benchmark:
+// a metric moving up by at least thresholdPct percent is a regression,
+// down by at least that much an improvement. Benchmarks present in only
+// one snapshot are listed, not judged.
+func compareEntries(old, new map[string]*Entry, thresholdPct float64) *CompareReport {
+	rep := &CompareReport{ThresholdPct: thresholdPct}
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ne, ok := new[n]
+		if !ok {
+			rep.Removed = append(rep.Removed, n)
+			continue
+		}
+		rep.Compared++
+		for _, m := range compareMetrics {
+			ov, nv := m.get(old[n]), m.get(ne)
+			if ov <= 0 {
+				// Zero/absent baseline: no ratio, but 0 -> N is the
+				// exact regression class the tool exists to catch
+				// (e.g. a zero-alloc hot path growing allocations).
+				if nv > 0 {
+					rep.Regressions = append(rep.Regressions,
+						Delta{Name: n, Metric: m.name, Old: ov, New: nv, FromZero: true})
+				}
+				continue
+			}
+			pct := (nv - ov) / ov * 100
+			d := Delta{Name: n, Metric: m.name, Old: ov, New: nv, Pct: pct}
+			switch {
+			case pct >= thresholdPct:
+				rep.Regressions = append(rep.Regressions, d)
+			case pct <= -thresholdPct:
+				rep.Improvements = append(rep.Improvements, d)
+			}
+		}
+	}
+	added := make([]string, 0)
+	for n := range new {
+		if _, ok := old[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	rep.Added = added
+	return rep
+}
+
+// loadEntries reads one benchjson snapshot file.
+func loadEntries(path string) (map[string]*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*Entry{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return out, nil
+}
+
+// writeCompare renders the report for humans (CI logs).
+func writeCompare(w io.Writer, oldPath, newPath string, rep *CompareReport) {
+	fmt.Fprintf(w, "benchjson compare: %s -> %s (%d shared benchmarks, threshold ±%.0f%%)\n",
+		oldPath, newPath, rep.Compared, rep.ThresholdPct)
+	section := func(label string, ds []Delta) {
+		if len(ds) == 0 {
+			return
+		}
+		fmt.Fprintf(w, "%s:\n", label)
+		for _, d := range ds {
+			change := fmt.Sprintf("%+7.1f%%", d.Pct)
+			if d.FromZero {
+				change = "was 0/unmeasured"
+			}
+			fmt.Fprintf(w, "  %-44s %-10s %14.1f -> %14.1f  %s\n",
+				d.Name, d.Metric, d.Old, d.New, change)
+		}
+	}
+	section("REGRESSIONS", rep.Regressions)
+	section("improvements", rep.Improvements)
+	if len(rep.Added) > 0 {
+		fmt.Fprintf(w, "added: %v\n", rep.Added)
+	}
+	if len(rep.Removed) > 0 {
+		fmt.Fprintf(w, "removed: %v\n", rep.Removed)
+	}
+	if len(rep.Regressions) == 0 {
+		fmt.Fprintln(w, "no regressions above threshold")
+	}
+}
+
+// runCompare implements `benchjson compare old.json new.json`. The
+// error return covers unusable inputs only; regressions never fail the
+// run (report-only).
+func runCompare(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 10, "report metrics that moved by at least this percent")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchjson compare [-threshold PCT] [-json] old.json new.json")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %v", *threshold)
+	}
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldE, err := loadEntries(oldPath)
+	if err != nil {
+		return err
+	}
+	newE, err := loadEntries(newPath)
+	if err != nil {
+		return err
+	}
+	rep := compareEntries(oldE, newE, *threshold)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	writeCompare(stdout, oldPath, newPath, rep)
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func fixture(name string) string { return filepath.Join("testdata", name) }
+
+// TestCompareEntriesClassification: the fixture pair encodes one ns/op
+// regression (+40%), one zero-baseline allocs/op regression (0 -> 5),
+// one allocs/op improvement (-40%) alongside an ns/op improvement
+// (-25%), one stable benchmark, one added and one removed.
+func TestCompareEntriesClassification(t *testing.T) {
+	oldE, err := loadEntries(fixture("old.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newE, err := loadEntries(fixture("new.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := compareEntries(oldE, newE, 10)
+	if rep.Compared != 4 {
+		t.Errorf("compared %d benchmarks, want 4", rep.Compared)
+	}
+	if len(rep.Regressions) != 2 {
+		t.Fatalf("regressions %+v, want RunScenario ns/op and ZeroAlloc allocs/op", rep.Regressions)
+	}
+	r := rep.Regressions[0]
+	if r.Name != "BenchmarkRunScenario" || r.Metric != "ns/op" || r.Pct < 39.9 || r.Pct > 40.1 {
+		t.Errorf("regression %+v, want BenchmarkRunScenario ns/op +40%%", r)
+	}
+	z := rep.Regressions[1]
+	if z.Name != "BenchmarkZeroAlloc" || z.Metric != "allocs/op" || !z.FromZero || z.New != 5 {
+		t.Errorf("regression %+v, want BenchmarkZeroAlloc allocs/op 0 -> 5 flagged from_zero", z)
+	}
+	if len(rep.Improvements) != 2 {
+		t.Fatalf("improvements %+v, want SweepTable6 ns/op and allocs/op", rep.Improvements)
+	}
+	for _, d := range rep.Improvements {
+		if d.Name != "BenchmarkSweepTable6" || d.Pct >= 0 {
+			t.Errorf("unexpected improvement %+v", d)
+		}
+	}
+	if len(rep.Added) != 1 || rep.Added[0] != "BenchmarkAdded" {
+		t.Errorf("added %v", rep.Added)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != "BenchmarkRemoved" {
+		t.Errorf("removed %v", rep.Removed)
+	}
+
+	// A 1000% threshold silences every ratio-based finding; the
+	// zero-baseline regression has no ratio and stays visible.
+	quiet := compareEntries(oldE, newE, 1000)
+	if len(quiet.Regressions) != 1 || !quiet.Regressions[0].FromZero || len(quiet.Improvements) != 0 {
+		t.Errorf("threshold 1000%% flags: %+v %+v, want only the from-zero regression", quiet.Regressions, quiet.Improvements)
+	}
+}
+
+// TestRunCompareReportOnly: regressions print but never fail the run;
+// unusable inputs do.
+func TestRunCompareReportOnly(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	err := runCompare([]string{"-threshold", "10", fixture("old.json"), fixture("new.json")}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("report-only compare failed: %v", err)
+	}
+	text := out.String()
+	for _, want := range []string{"REGRESSIONS", "BenchmarkRunScenario", "+40.0%", "BenchmarkAdded", "BenchmarkRemoved"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report lacks %q:\n%s", want, text)
+		}
+	}
+
+	if err := runCompare([]string{fixture("old.json")}, &out, &errBuf); err == nil {
+		t.Error("one positional arg accepted, want usage error")
+	}
+	if err := runCompare([]string{fixture("old.json"), fixture("missing.json")}, &out, &errBuf); err == nil {
+		t.Error("missing snapshot accepted, want error")
+	}
+	if err := runCompare([]string{"-threshold", "-5", fixture("old.json"), fixture("new.json")}, &out, &errBuf); err == nil {
+		t.Error("negative threshold accepted, want error")
+	}
+}
+
+// TestRunCompareJSON: the -json form emits the structured report.
+func TestRunCompareJSON(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := runCompare([]string{"-json", fixture("old.json"), fixture("new.json")}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"compared": 4`, `"regressions"`, `"BenchmarkRunScenario"`, `"from_zero": true`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON report lacks %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,12 +1,18 @@
 // Command benchjson converts `go test -bench` output (stdin) into a
 // JSON document (stdout) mapping each benchmark to its iteration count,
 // ns/op, B/op, allocs/op, and any custom b.ReportMetric metrics — the
-// machine-readable form CI archives (BENCH_PR3.json) so the perf
-// trajectory of the hot paths is diffable across PRs.
+// machine-readable form CI archives so the perf trajectory of the hot
+// paths is diffable across PRs — and compares two such snapshots.
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR3.json
+//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR4.json
+//	go run ./tools/benchjson compare [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR4.json
+//
+// compare is report-only (the ROADMAP's fail-soft contract): it prints
+// per-metric regressions and improvements beyond the threshold plus
+// added/removed benchmarks, and exits non-zero only when a snapshot is
+// unreadable — never because a metric moved.
 package main
 
 import (
@@ -37,6 +43,13 @@ type Entry struct {
 var procSuffix = fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		if err := runCompare(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	out := map[string]*Entry{}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(nil, 1<<20)
