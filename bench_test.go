@@ -332,6 +332,38 @@ func BenchmarkSweepTable6(b *testing.B) {
 	b.ReportMetric(float64(len(res.Cells)), "cells")
 }
 
+// BenchmarkSweepRefined runs the checked-in adaptive Fig. 14-style
+// noise sweep end to end: coarse pass, aggregator-driven scoring,
+// midpoint refinement. cells vs dense_cells is the algorithmic win the
+// refinement exists for (the knee found with ≤ half the dense grid);
+// ns/op and allocs/op track the per-cell hot path it shares with every
+// other sweep.
+func BenchmarkSweepRefined(b *testing.B) {
+	data, err := os.ReadFile("examples/sweeps/specs/fig14_noise_refined.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *ichannels.SweepResult
+	for i := 0; i < b.N; i++ {
+		res, err = ichannels.RefineSweep(context.Background(), sw, ichannels.SweepOptions{
+			BaseSeed: int64(i + 1), Parallel: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed > 0 {
+			b.Fatalf("%d cells failed", res.Failed)
+		}
+	}
+	b.ReportMetric(float64(res.Refinement.CellsComputed), "cells")
+	b.ReportMetric(float64(res.Refinement.DenseCells), "dense_cells")
+	b.ReportMetric(float64(len(res.Refinement.Passes)), "passes")
+}
+
 // TestBenchmarkSpecsValidate guards the bench setup: every benchmarked
 // experiment must still be registered (and every registered experiment
 // benchmarked, so the perf trajectory has no holes), and every
@@ -390,6 +422,21 @@ func TestBenchmarkSpecsValidate(t *testing.T) {
 	}
 	if n, err := sw.CountCells(); err != nil || n != 88 {
 		t.Errorf("table6 sweep expands to %d cells (%v), benchmark asserts 88", n, err)
+	}
+
+	rdata, err := os.ReadFile("examples/sweeps/specs/fig14_noise_refined.json")
+	if err != nil {
+		t.Fatalf("BenchmarkSweepRefined spec file: %v", err)
+	}
+	rsw, err := ichannels.ParseSweepSpec(rdata)
+	if err != nil {
+		t.Fatalf("BenchmarkSweepRefined spec: %v", err)
+	}
+	if rsw.Refine == nil {
+		t.Error("BenchmarkSweepRefined spec lost its refine block")
+	}
+	if n, err := rsw.CountCells(); err != nil || n != 40 {
+		t.Errorf("refined sweep's dense grid is %d cells (%v), benchmark assumes 40", n, err)
 	}
 }
 

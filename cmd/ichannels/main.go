@@ -84,14 +84,18 @@ func usage() {
   ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]]
                                       run declarative scenario spec(s) (object or array per file)
   ichannels scenario schema           print the scenario spec JSON schema
-  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]]
+  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]] [-refine]
                                       expand a parameter grid and run it (streaming, grouped aggregate;
-                                      -store persists cells, -resume serves surviving cells from it)
+                                      -store persists cells, -resume serves surviving cells from it;
+                                      a spec with a refine block runs adaptively — coarse pass, then
+                                      only regions whose metric moves re-expand; -refine asserts one)
   ichannels sweep expand <sweep.json|-> [-json]
                                       print a grid's expanded cells without running them
   ichannels sweep schema              print the sweep spec JSON schema
-  ichannels store ls|verify|gc <dir> [-json]
+  ichannels store ls|verify|gc <dir> [-json] (gc: [-max-age DUR] [-max-bytes N])
                                       list, integrity-check, or clean a result store directory
+                                      (gc retention: drop entries older than -max-age, then evict
+                                      oldest until the corpus fits -max-bytes — CI scratch bounds)
   ichannels serve [-addr HOST:PORT] [-store DIR]
                                       HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
                                       POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema
@@ -360,12 +364,16 @@ func sweepRun(args []string) error {
 	ndjsonOut := fs.Bool("ndjson", false, "stream one JSON outcome per cell plus a final aggregate line (the HTTP v1 framing)")
 	storeDir := fs.String("store", "", "persist cell results to this store directory")
 	resume := fs.Bool("resume", false, "serve cells the store already holds instead of recomputing them (resume a killed sweep)")
+	refine := fs.Bool("refine", false, "require adaptive refinement: error unless the spec carries a refine block (a spec with one always runs refined)")
 	sw, err := loadSweep("sweep run", args, fs)
 	if err != nil {
 		return err
 	}
 	if *jsonOut && *ndjsonOut {
 		return errors.New("sweep run: give either -json or -ndjson, not both")
+	}
+	if *refine && sw.Refine == nil {
+		return errors.New("sweep run: -refine given but the spec has no refine block (see 'ichannels sweep schema')")
 	}
 	st, err := openRunStore("sweep run", *storeDir, *resume)
 	if err != nil {
@@ -381,6 +389,9 @@ func sweepRun(args []string) error {
 		opts.OnCell = func(o ichannels.SweepCellOutcome) error {
 			return enc.Encode(ichannels.SweepCellLine(o))
 		}
+		opts.OnPass = func(p ichannels.SweepPassStats) error {
+			return ichannels.WriteSweepPassLine(os.Stdout, p)
+		}
 	}
 	res, err := ichannels.RunSweep(ctx, sw, opts)
 	if err != nil {
@@ -388,7 +399,7 @@ func sweepRun(args []string) error {
 	}
 	switch {
 	case *ndjsonOut:
-		err = ichannels.WriteSweepAggregateLine(os.Stdout, res.Aggregate)
+		err = res.WriteAggregateLine(os.Stdout)
 	case *jsonOut:
 		err = res.WriteJSON(os.Stdout)
 	default:
@@ -468,6 +479,12 @@ func storeCmd(args []string) error {
 	}
 	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
+	var maxAge time.Duration
+	var maxBytes int64
+	if sub == "gc" {
+		fs.DurationVar(&maxAge, "max-age", 0, "also remove intact entries older than this (e.g. 72h; 0 = keep all ages)")
+		fs.Int64Var(&maxBytes, "max-bytes", 0, "evict oldest intact entries until the store fits this many bytes (0 = unbounded)")
+	}
 	dirs, err := splitFilesAndFlags("store "+sub, args[1:], fs)
 	if err != nil {
 		return err
@@ -522,15 +539,15 @@ func storeCmd(args []string) error {
 			return fmt.Errorf("store verify: %d corrupt entries (run 'ichannels store gc %s' to remove them)", len(rep.Problems), dirs[0])
 		}
 	case "gc":
-		rep, err := st.GC()
+		rep, err := st.GCWith(ichannels.StoreGCOptions{MaxAge: maxAge, MaxBytes: maxBytes})
 		if err != nil {
 			return err
 		}
 		if *jsonOut {
 			return emit(rep)
 		}
-		fmt.Printf("removed %d corrupt entries and %d stray files (%d bytes); %d entries kept\n",
-			rep.RemovedCorrupt, rep.RemovedStray, rep.ReclaimedBytes, rep.Kept)
+		fmt.Printf("removed %d corrupt entries, %d stray files, %d expired, %d over budget (%d bytes); %d entries kept\n",
+			rep.RemovedCorrupt, rep.RemovedStray, rep.RemovedExpired, rep.RemovedOverBudget, rep.ReclaimedBytes, rep.Kept)
 	}
 	return nil
 }

@@ -267,9 +267,11 @@ func TestConformanceSweeps(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// Go API reference: per-cell result bytes in expansion
-			// order plus the aggregate's NDJSON framing.
+			// Go API reference: per-cell result bytes in stream order,
+			// the pass markers of a refined spec, plus the aggregate's
+			// NDJSON framing.
 			var want [][]byte
+			var wantMarkers [][]byte
 			var seeds []int64
 			res, err := ichannels.RunSweep(context.Background(), sw, ichannels.SweepOptions{
 				BaseSeed: 1, Parallel: 4,
@@ -285,23 +287,49 @@ func TestConformanceSweeps(t *testing.T) {
 					seeds = append(seeds, o.Seed)
 					return nil
 				},
+				OnPass: func(p ichannels.SweepPassStats) error {
+					var buf bytes.Buffer
+					if err := ichannels.WriteSweepPassLine(&buf, p); err != nil {
+						return err
+					}
+					wantMarkers = append(wantMarkers, bytes.TrimRight(buf.Bytes(), "\n"))
+					return nil
+				},
 			})
 			if err != nil {
 				t.Fatal(err)
 			}
 			var aggBuf bytes.Buffer
-			if err := ichannels.WriteSweepAggregateLine(&aggBuf, res.Aggregate); err != nil {
+			if err := res.WriteAggregateLine(&aggBuf); err != nil {
 				t.Fatal(err)
 			}
 			wantAgg := bytes.TrimRight(aggBuf.Bytes(), "\n")
 
 			checkStream := func(surface string, lines [][]byte, cached bool) {
 				t.Helper()
-				if len(lines) != len(want)+1 {
-					t.Fatalf("%s: %d lines, want %d cells + aggregate", surface, len(lines), len(want))
+				// Refined sweeps interleave pass markers with cell
+				// lines; split them out and compare each stream.
+				var cells, markers [][]byte
+				for _, ln := range lines {
+					if bytes.HasPrefix(ln, []byte(`{"pass":`)) {
+						markers = append(markers, ln)
+					} else {
+						cells = append(cells, ln)
+					}
 				}
-				assertSurface(t, surface, lines[:len(lines)-1], want, seeds, cached)
-				if agg := lines[len(lines)-1]; !bytes.Equal(agg, wantAgg) {
+				if len(markers) != len(wantMarkers) {
+					t.Fatalf("%s: %d pass markers, want %d", surface, len(markers), len(wantMarkers))
+				}
+				for i, m := range markers {
+					if !bytes.Equal(m, wantMarkers[i]) {
+						t.Errorf("%s pass marker %d differs:\n%s\nwant:\n%s", surface, i, m, wantMarkers[i])
+					}
+				}
+				if len(cells) != len(want)+1 {
+					t.Fatalf("%s: %d lines, want %d cells + aggregate", surface, len(cells), len(want))
+				}
+				assertSurface(t, surface, cells[:len(cells)-1], want, seeds, cached)
+				if agg := cells[len(cells)-1]; !bytes.Equal(agg, wantAgg) {
 					t.Errorf("%s aggregate differs:\n%s\nwant:\n%s", surface, agg, wantAgg)
 				}
 			}

@@ -89,6 +89,9 @@ func FuzzParseSweep(f *testing.F) {
 	seedFromSpecs(f, "examples/sweeps/specs/*.json")
 	f.Add([]byte(`{"base":{"role":"channel","kind":"cores"},"axes":{"bits":[4,8],"processor":["Haswell"]}}`))
 	f.Add([]byte(`{"base":{"role":"mitigation-eval"},"axes":{"kind":["smt","cores"]},"filters":[{"kind":"smt"}],"group_by":["kind"],"max_cells":10}`))
+	f.Add([]byte(`{"base":{"role":"channel"},"axes":{"bits":[2,4,6,8]},"group_by":["bits"],"refine":{"stride":{"bits":2},"threshold":0.1}}`))
+	f.Add([]byte(`{"base":{"role":"channel"},"axes":{"bits":[2,4,6]},"refine":{"metric":"THROUGHPUT_BPS","stride":{"BITS":2},"threshold":0.5,"max_passes":2,"max_cells_per_pass":3}}`))
+	f.Add([]byte(`{"base":{"role":"channel"},"axes":{"bits":[2,4]},"refine":{"stride":{"noise":-1},"threshold":0}}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		sw, err := ichannels.ParseSweepSpec(data)
 		if err != nil {

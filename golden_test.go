@@ -98,3 +98,30 @@ func TestGoldenTable6Aggregate(t *testing.T) {
 	}
 	compareGolden(t, filepath.Join("testdata", "golden", "table6_aggregate.json"), indented(t, res.Aggregate))
 }
+
+// TestGoldenFig14RefinedAggregate pins the adaptive noise sweep's
+// aggregate and refinement record at base seed 1 — both the wire shape
+// of the refined trailing envelope and the controller's deterministic
+// cell selection (which pass computed what) are covered.
+func TestGoldenFig14RefinedAggregate(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("examples", "sweeps", "specs", "fig14_noise_refined.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := ichannels.ParseSweepSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ichannels.RefineSweep(context.Background(), sw, ichannels.SweepOptions{BaseSeed: 1, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 {
+		t.Fatalf("%d cells failed", res.Failed)
+	}
+	envelope := struct {
+		Aggregate  *ichannels.SweepTable           `json:"aggregate"`
+		Refinement *ichannels.SweepRefinementStats `json:"refinement"`
+	}{res.Aggregate, res.Refinement}
+	compareGolden(t, filepath.Join("testdata", "golden", "fig14_refined_aggregate.json"), indented(t, envelope))
+}

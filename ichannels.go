@@ -40,6 +40,7 @@ package ichannels
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http"
 
@@ -409,12 +410,20 @@ type ResultStoreKey = store.Key
 type FSResultStore = store.FS
 
 // StoreEntry, StoreVerifyReport and StoreGCReport are the maintenance
-// views of a filesystem store (List, Verify, GC).
+// views of a filesystem store (List, Verify, GC/GCWith).
 type (
 	StoreEntry        = store.Entry
 	StoreVerifyReport = store.VerifyReport
 	StoreGCReport     = store.GCReport
 )
+
+// StoreGCOptions bounds what FSResultStore.GCWith retains: entries
+// older than MaxAge are removed, then the oldest survivors are evicted
+// until the corpus fits MaxBytes — the retention knobs
+// `ichannels store gc -max-age -max-bytes` exposes for CI scratch
+// corpora. Evicted results are recomputable on demand (determinism),
+// so retention trades disk for recompute, never data.
+type StoreGCOptions = store.GCOptions
 
 // OpenStore creates (if needed) and opens a filesystem result store
 // rooted at dir — what `ichannels sweep run -store DIR` and
@@ -511,7 +520,48 @@ func SweepCellLine(o SweepCellOutcome) SweepCellLineJSON { return sweep.LineOf(o
 
 // WriteSweepAggregateLine writes the aggregate's NDJSON framing — the
 // final line of both `ichannels sweep run -ndjson` and POST /v1/sweeps,
-// byte-identical between the two for a fixed spec and seed.
+// byte-identical between the two for a fixed spec and seed. Refined
+// runs use SweepResult.WriteAggregateLine instead, which carries the
+// refinement record in the same line.
 func WriteSweepAggregateLine(w io.Writer, t *SweepTable) error {
 	return sweep.WriteAggregateLine(w, t)
+}
+
+// ---- Adaptive sweep refinement ----
+
+// SweepRefine is the optional refine block of a Sweep: run a coarse
+// strided pass first, then re-expand only the group_by regions whose
+// metric (BER or throughput) actually moves — the Fig. 14-style
+// noise/BER knee found with a fraction of the dense grid's cells. See
+// scenario.Refine for the pass model and determinism contract.
+type SweepRefine = scenario.Refine
+
+// SweepPassStats is one executed refinement pass's deterministic
+// header (pass number, cell count, budget truncation); streamed to
+// SweepOptions.OnPass and recorded in SweepRefinementStats.
+type SweepPassStats = sweep.PassStats
+
+// SweepRefinementStats records a refined run's shape: the watched
+// metric, each pass, and cells computed vs the dense-grid equivalent.
+type SweepRefinementStats = sweep.RefinementStats
+
+// RefineSweep runs a sweep adaptively, requiring the spec to carry a
+// refine block (RunSweep also honors the block; this entry point makes
+// the intent explicit and fails loudly on a dense spec). The refined
+// cell set, per-cell results, and the final aggregate are byte-identical
+// at any parallelism and across kill-and-resume, because per-pass
+// dispatch follows scenario content-hash order and per-cell seeds
+// derive from (BaseSeed, cell hash) exactly as in a dense run.
+func RefineSweep(ctx context.Context, sw Sweep, opts SweepOptions) (*SweepResult, error) {
+	if sw.Normalized().Refine == nil {
+		return nil, fmt.Errorf("ichannels: RefineSweep needs a spec with a refine block (use RunSweep for dense grids)")
+	}
+	return sweep.Run(ctx, sw, opts)
+}
+
+// WriteSweepPassLine writes one refinement pass marker's NDJSON framing
+// — emitted before the pass's cell lines by both the CLI's -ndjson mode
+// and POST /v1/sweeps.
+func WriteSweepPassLine(w io.Writer, p SweepPassStats) error {
+	return sweep.WritePassLine(w, p)
 }

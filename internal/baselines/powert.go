@@ -103,7 +103,7 @@ func (a *ptReceiver) Next(env *soc.Env, prev *soc.Result) soc.Action {
 		a.polls = 0
 		return soc.SpinUntil(a.base.Add(units.Duration(a.idx) * a.pt.BitPeriod))
 	case 1:
-		temp := float64(env.M.Probe().Temp)
+		temp := float64(env.M.ProbeScalars().Temp)
 		if a.polls == 0 {
 			a.tStart = temp
 			a.tMax = temp

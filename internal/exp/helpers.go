@@ -43,7 +43,8 @@ func (o *oneShot) Next(env *soc.Env, prev *soc.Result) soc.Action {
 	case prev.Action.Kind == soc.ActSpinUntil:
 		return soc.Exec(o.k, o.iters)
 	default:
-		o.res = prev
+		r := *prev // prev is only valid during this call; keep a copy
+		o.res = &r
 		return soc.Stop()
 	}
 }
@@ -65,7 +66,8 @@ func (b *burstSequence) Next(env *soc.Env, prev *soc.Result) soc.Action {
 		return soc.SpinUntil(b.start)
 	}
 	if prev.Action.Kind == soc.ActExec {
-		b.res = append(b.res, prev)
+		r := *prev // prev is only valid during this call; keep a copy
+		b.res = append(b.res, &r)
 	}
 	if b.idx >= len(b.bursts) {
 		return soc.Stop()

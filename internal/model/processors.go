@@ -10,6 +10,7 @@ package model
 
 import (
 	"fmt"
+	"sync"
 
 	"ichannels/internal/isa"
 	"ichannels/internal/pdn"
@@ -262,13 +263,31 @@ func All() []Processor {
 	return []Processor{Haswell4770K(), CoffeeLake9700K(), CannonLake8121U()}
 }
 
+// registry lists every profile constructor (characterized parts plus
+// the server extension), in definition order.
+var registry = []func() Processor{Haswell4770K, CoffeeLake9700K, CannonLake8121U, XeonPlatinum8160}
+
+// ctorByName indexes marketing and code names to constructors once; the
+// lookup itself still calls the constructor, so every caller keeps
+// getting a fresh profile it may mutate freely (the scenario layer
+// resolves names on every cell of a sweep — rebuilding all four
+// profiles per lookup was a measurable slice of the per-cell cost).
+var ctorByName = sync.OnceValue(func() map[string]func() Processor {
+	m := make(map[string]func() Processor, 2*len(registry))
+	for _, ctor := range registry {
+		p := ctor()
+		m[p.Name] = ctor
+		m[p.CodeName] = ctor
+	}
+	return m
+})
+
 // ByName looks a processor up by marketing or code name, including the
-// server extension profile.
+// server extension profile. The returned profile is freshly constructed
+// (never shared), so callers may adjust it.
 func ByName(name string) (Processor, error) {
-	for _, p := range append(All(), XeonPlatinum8160()) {
-		if p.Name == name || p.CodeName == name {
-			return p, nil
-		}
+	if ctor, ok := ctorByName()[name]; ok {
+		return ctor(), nil
 	}
 	return Processor{}, fmt.Errorf("model: unknown processor %q", name)
 }

@@ -7,7 +7,6 @@ package pmu
 
 import (
 	"fmt"
-	"sort"
 
 	"ichannels/internal/isa"
 	"ichannels/internal/units"
@@ -72,15 +71,29 @@ func (g GuardbandTable) Single(c isa.Class, f units.Hertz) units.Volt {
 
 // Sum combines the guardbands of all cores' licenses at frequency f. The
 // largest contribution gets weight CoreWeights[0] (=1), the next largest
-// CoreWeights[1], and so on.
+// CoreWeights[1], and so on. It runs on every voltage retarget, so the
+// descending order is built by insertion into a stack buffer instead of
+// a heap-allocated sort (core counts are small).
 func (g GuardbandTable) Sum(classes []isa.Class, f units.Hertz) units.Volt {
-	contributions := make([]float64, 0, len(classes))
-	for _, c := range classes {
-		if v := g.Single(c, f); v > 0 {
-			contributions = append(contributions, float64(v))
-		}
+	var buf [32]float64
+	contributions := buf[:0]
+	if len(classes) > len(buf) {
+		contributions = make([]float64, 0, len(classes))
 	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(contributions)))
+	for _, c := range classes {
+		v := float64(g.Single(c, f))
+		if v <= 0 {
+			continue
+		}
+		// Insert v keeping contributions sorted descending.
+		i := len(contributions)
+		contributions = append(contributions, v)
+		for i > 0 && contributions[i-1] < v {
+			contributions[i] = contributions[i-1]
+			i--
+		}
+		contributions[i] = v
+	}
 	var total float64
 	for i, v := range contributions {
 		total += v * g.weight(i)

@@ -130,6 +130,8 @@ type PMU struct {
 	lic       []isa.Class
 	lastTouch [][isa.NumClasses]units.Time
 	decayEv   []*sched.Event
+	decayFn   []func(units.Time) // prebound per-core decay callbacks
+	decayName []string           // precomputed event names
 
 	busy  []bool
 	queue [][]transition
@@ -175,6 +177,19 @@ func (p *PMU) AttachCores(cores []Core) error {
 		}
 	}
 	p.decayEv = make([]*sched.Event, n)
+	// The decay check reschedules itself on every license touch window;
+	// binding the callback and its event name once per core keeps that
+	// hot path free of per-schedule closure and string allocations.
+	p.decayFn = make([]func(units.Time), n)
+	p.decayName = make([]string, n)
+	for i := 0; i < n; i++ {
+		coreID := i
+		p.decayName[i] = fmt.Sprintf("pmu.decay.core%d", coreID)
+		p.decayFn[i] = func(now units.Time) {
+			p.decayEv[coreID] = nil
+			p.decayCheck(coreID, now)
+		}
+	}
 	nregs := 1
 	if p.cfg.PerCoreVR {
 		nregs = n
@@ -338,10 +353,7 @@ func (p *PMU) touch(coreID int, c isa.Class) {
 }
 
 func (p *PMU) scheduleDecay(coreID int, at units.Time) {
-	p.decayEv[coreID] = p.q.At(at, fmt.Sprintf("pmu.decay.core%d", coreID), func(now units.Time) {
-		p.decayEv[coreID] = nil
-		p.decayCheck(coreID, now)
-	})
+	p.decayEv[coreID] = p.q.At(at, p.decayName[coreID], p.decayFn[coreID])
 }
 
 // effectiveDemand returns the highest class the core is entitled to keep a

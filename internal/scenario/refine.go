@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Refinement metrics: the per-cell scalar the refinement controller
+// watches for transitions.
+const (
+	RefineMetricBER        = "ber"
+	RefineMetricThroughput = "throughput_bps"
+)
+
+// Refinement bounds.
+const (
+	// DefaultRefineMaxPasses is how many refinement passes follow the
+	// coarse pass when the spec does not say; MaxRefinePasses is the
+	// hard ceiling (a stride of 2^32 is not a real grid).
+	DefaultRefineMaxPasses = 4
+	MaxRefinePasses        = 32
+	// DefaultRefineCellsPerPass bounds one pass's simulation work when
+	// the spec pins no budget.
+	DefaultRefineCellsPerPass = 1024
+)
+
+// Refine describes adaptive multi-pass execution of a sweep: run a
+// coarse subsample of the grid first, then re-expand only the regions
+// where the watched metric actually moves. The paper's noise-vs-BER
+// curves (Fig. 14) need dense sampling only near the knee; a refined
+// sweep finds the knee with a fraction of the dense grid's cells.
+//
+// Mechanics: every axis named in Stride is sampled at positions
+// {0, s, 2s, …, last} in the coarse pass. After each pass the grouped
+// aggregate is scored: for every pair of adjacent computed positions
+// along a refined axis (within each combination of the other group_by
+// axes), the score is the larger of the metric's mean shift between the
+// two groups and either group's internal min-max spread. An interval
+// scoring at or above Threshold gains its midpoint cell(s) in the next
+// pass, until the grid is locally dense, the interval flattens, or
+// MaxPasses is exhausted. Refined axes must therefore appear in the
+// sweep's effective group_by — the aggregator is the refinement signal.
+//
+// Determinism: the refined cell set and the final aggregate are a pure
+// function of (sweep, base seed). Within a pass, cells dispatch in the
+// order of their scenario content hashes (ties by dense index), which
+// is also the order the per-pass budget truncates in — so serial,
+// parallel, and killed-and-resumed runs compute the same cells and emit
+// byte-identical aggregates.
+type Refine struct {
+	// Metric is the watched per-cell scalar: "ber" (default) or
+	// "throughput_bps".
+	Metric string `json:"metric,omitempty"`
+	// Stride maps a refined axis name to its coarse sampling stride
+	// (≥ 2). At least one axis is required, it must be an axis of the
+	// sweep with at least 3 values, and it must be in group_by.
+	Stride map[string]int `json:"stride"`
+	// Threshold is the score at or above which an interval refines
+	// (same unit as the metric). Must be positive: a zero threshold
+	// would re-expand everything and the sweep would just be dense.
+	Threshold float64 `json:"threshold"`
+	// MaxPasses caps the refinement passes that follow the coarse pass
+	// (0 = DefaultRefineMaxPasses, at most MaxRefinePasses).
+	MaxPasses int `json:"max_passes,omitempty"`
+	// MaxCellsPerPass bounds one pass's cell count (0 =
+	// DefaultRefineCellsPerPass). Truncation keeps the hash-order
+	// prefix; the dropped cells stay candidates for the next pass.
+	MaxCellsPerPass int `json:"max_cells_per_pass,omitempty"`
+}
+
+// normalizedRefine folds defaults and canonicalizes names so two
+// spellings of the same refinement hash identically.
+func normalizedRefine(r *Refine) *Refine {
+	if r == nil {
+		return nil
+	}
+	n := *r
+	n.Metric = normalizeEnum(n.Metric)
+	if n.Metric == "" {
+		n.Metric = RefineMetricBER
+	}
+	if n.MaxPasses == 0 {
+		n.MaxPasses = DefaultRefineMaxPasses
+	}
+	if n.MaxCellsPerPass == 0 {
+		n.MaxCellsPerPass = DefaultRefineCellsPerPass
+	}
+	if len(r.Stride) > 0 {
+		stride := make(map[string]int, len(r.Stride))
+		// Deterministic rebuild: sorted original keys, so a (invalid)
+		// casing collision resolves the same way on every run and the
+		// normalize→marshal fixed point holds.
+		keys := make([]string, 0, len(r.Stride))
+		for k := range r.Stride {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			stride[normalizeEnum(k)] = r.Stride[k]
+		}
+		n.Stride = stride
+	}
+	return &n
+}
+
+// validateRefine checks a normalized refine block against the sweep's
+// normalized axes and group-by. usedAxes maps axis name → value count.
+func validateRefine(r *Refine, usedAxes map[string]int, groupBy []string) error {
+	switch r.Metric {
+	case RefineMetricBER, RefineMetricThroughput:
+	default:
+		return fmt.Errorf("sweep: refine metric must be %q or %q, got %q",
+			RefineMetricBER, RefineMetricThroughput, r.Metric)
+	}
+	if len(r.Stride) == 0 {
+		return fmt.Errorf("sweep: refine needs at least one strided axis")
+	}
+	grouped := map[string]bool{}
+	for _, g := range groupBy {
+		grouped[g] = true
+	}
+	// Sorted keys so multi-error specs fail the same way every run.
+	keys := make([]string, 0, len(r.Stride))
+	for k := range r.Stride {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, axis := range keys {
+		s := r.Stride[axis]
+		n, used := usedAxes[axis]
+		if !used {
+			return fmt.Errorf("sweep: refine stride names %q, which is not an axis of this sweep", axis)
+		}
+		if s < 2 {
+			return fmt.Errorf("sweep: refine stride for %s must be ≥ 2 (1 is just the dense grid), got %d", axis, s)
+		}
+		if n < 3 {
+			return fmt.Errorf("sweep: axis %s has %d values; refining needs at least 3 (coarse endpoints plus something to skip)", axis, n)
+		}
+		if !grouped[axis] {
+			return fmt.Errorf("sweep: refined axis %s must be in group_by (the grouped aggregate is the refinement signal)", axis)
+		}
+	}
+	if !(r.Threshold > 0) {
+		return fmt.Errorf("sweep: refine threshold must be positive, got %v", r.Threshold)
+	}
+	if r.MaxPasses < 0 || r.MaxPasses > MaxRefinePasses {
+		return fmt.Errorf("sweep: refine max_passes must be in [1, %d], got %d", MaxRefinePasses, r.MaxPasses)
+	}
+	if r.MaxCellsPerPass < 0 || r.MaxCellsPerPass > MaxSweepCells {
+		return fmt.Errorf("sweep: refine max_cells_per_pass must be in [1, %d], got %d", MaxSweepCells, r.MaxCellsPerPass)
+	}
+	return nil
+}

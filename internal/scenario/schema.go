@@ -161,6 +161,9 @@ func SweepSchema() map[string]any {
 	axisList := func(items any, desc string) map[string]any {
 		return map[string]any{"type": "array", "items": items, "description": desc}
 	}
+	num := func(t, desc string) map[string]any {
+		return map[string]any{"type": t, "description": desc}
+	}
 	subObject := func(key string) any { return scenarioSchema["properties"].(map[string]any)[key] }
 	return map[string]any{
 		"$schema":     "https://json-schema.org/draft/2020-12/schema",
@@ -205,6 +208,25 @@ func SweepSchema() map[string]any {
 			"max_cells": map[string]any{
 				"type":        "integer",
 				"description": fmt.Sprintf("pre-filter expansion cap (default %d, hard limit %d)", DefaultMaxSweepCells, MaxSweepCells),
+			},
+			"refine": map[string]any{
+				"type":        "object",
+				"description": "adaptive multi-pass execution: a coarse strided pass first, then only group_by regions whose metric moves (mean shift or min-max spread ≥ threshold between adjacent computed positions) re-expand toward the dense grid. Refined axes must be in group_by. Deterministic: per-pass dispatch and budget truncation follow scenario content-hash order, so serial == parallel == resumed bytes. Part of the sweep's identity hash.",
+				"required":    []string{"stride", "threshold"},
+				"properties": map[string]any{
+					"metric": str("watched per-cell scalar (default "+RefineMetricBER+")",
+						RefineMetricBER, RefineMetricThroughput),
+					"stride": map[string]any{
+						"type":                 "object",
+						"description":          "refined axis name → coarse sampling stride (≥ 2); coarse pass samples positions {0, s, 2s, …, last}",
+						"additionalProperties": map[string]any{"type": "integer"},
+					},
+					"threshold": num("number", "score at/above which an interval refines (metric units, > 0)"),
+					"max_passes": num("integer", fmt.Sprintf("refinement passes after the coarse pass (default %d, max %d)",
+						DefaultRefineMaxPasses, MaxRefinePasses)),
+					"max_cells_per_pass": num("integer", fmt.Sprintf("per-pass cell budget (default %d); truncation keeps the hash-order prefix",
+						DefaultRefineCellsPerPass)),
+				},
 			},
 		},
 	}

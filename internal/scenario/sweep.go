@@ -40,6 +40,11 @@ type Sweep struct {
 	// MaxCells caps the pre-filter expansion size. Zero means
 	// DefaultMaxSweepCells; values above MaxSweepCells are invalid.
 	MaxCells int `json:"max_cells,omitempty"`
+	// Refine, when set, turns execution adaptive: a coarse strided pass
+	// first, then only regions whose metric moves re-expand into finer
+	// cells (see Refine). Unlike MaxCells it changes which cells run,
+	// so it is part of the sweep's Hash.
+	Refine *Refine `json:"refine,omitempty"`
 }
 
 // SweepAxes names the grid dimensions. Scalar axes override the
@@ -198,6 +203,7 @@ func (sw Sweep) Normalized() Sweep {
 		}
 	}
 	n.GroupBy = mapStrings(sw.GroupBy, normalizeEnum)
+	n.Refine = normalizedRefine(sw.Refine)
 	return n
 }
 
@@ -355,8 +361,10 @@ func (sw Sweep) validateStructure() (cells int, err error) {
 		}
 	}
 	used := map[string]bool{}
+	axisSizes := map[string]int{}
 	for _, ax := range axes {
 		used[ax.name] = true
+		axisSizes[ax.name] = ax.n
 	}
 	seenGroup := map[string]bool{}
 	for _, g := range sw.GroupBy {
@@ -367,6 +375,11 @@ func (sw Sweep) validateStructure() (cells int, err error) {
 			return 0, fmt.Errorf("sweep: group_by repeats axis %q", g)
 		}
 		seenGroup[g] = true
+	}
+	if sw.Refine != nil {
+		if err := validateRefine(sw.Refine, axisSizes, sw.EffectiveGroupBy()); err != nil {
+			return 0, err
+		}
 	}
 	return cells, nil
 }
@@ -380,6 +393,26 @@ func keysOf(used map[string]bool) []string {
 		}
 	}
 	return out
+}
+
+// AxisLabels returns each used axis's value labels in axis order,
+// exactly as cells carry them in Cell.Axes (scalar labels normalized,
+// object labels compact JSON) — the label→position mapping the
+// refinement controller scores intervals with. It normalizes first.
+func (sw Sweep) AxisLabels() (map[string][]string, error) {
+	n := sw.Normalized()
+	if _, err := n.validateStructure(); err != nil {
+		return nil, err
+	}
+	out := map[string][]string{}
+	for _, ax := range n.axes() {
+		vals := make([]string, ax.n)
+		for i := range vals {
+			vals[i] = ax.label(i)
+		}
+		out[ax.name] = vals
+	}
+	return out, nil
 }
 
 // CellIterator yields a sweep's cells one at a time, in expansion
@@ -563,7 +596,11 @@ func (sw Sweep) Describe() string {
 	for _, ax := range n.axes() {
 		dims = append(dims, fmt.Sprintf("%s×%d", ax.name, ax.n))
 	}
-	return "sweep " + strings.Join(dims, " ")
+	desc := "sweep " + strings.Join(dims, " ")
+	if n.Refine != nil {
+		desc += " (refined)"
+	}
+	return desc
 }
 
 // ParseSweep parses one JSON sweep object, rejecting unknown fields and

@@ -1,10 +1,12 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"ichannels/internal/engine"
@@ -41,6 +43,7 @@ type sweepLine struct {
 	Axes      map[string]string `json:"axes"`
 	Hash      string            `json:"hash"`
 	Seed      int64             `json:"seed"`
+	Pass      int               `json:"pass,omitempty"`
 	Cached    bool              `json:"cached"`
 	ElapsedUS float64           `json:"elapsed_us"`
 	Error     *errorBody        `json:"error,omitempty"`
@@ -133,6 +136,10 @@ func (s *Server) v1Sweeps(w http.ResponseWriter, r *http.Request) {
 	if seedSet && querySeed != 0 {
 		baseSeed = querySeed
 	}
+	if nsw.Refine != nil {
+		s.v1SweepsRefined(w, r, nsw, baseSeed)
+		return
+	}
 	it, err := nsw.Cells()
 	if err != nil {
 		// Unreachable after CountCells; keep the 400 for safety.
@@ -205,6 +212,92 @@ func (s *Server) v1Sweeps(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sweep.WriteAggregateLine(w, agg.Table(nsw.Hash(), baseSeed))
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// refinedParallel sizes the refinement controller's worker pool: the
+// simulation semaphore bounds real concurrency anyway, so match it.
+func (s *Server) refinedParallel() int {
+	if s.sem != nil {
+		return cap(s.sem)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// v1SweepsRefined streams an adaptive sweep: one NDJSON pass-marker
+// line per refinement pass, the pass's cell lines in the controller's
+// deterministic hash order, and a final aggregate envelope that records
+// cells computed vs the dense-grid equivalent — framing and bytes
+// identical to `ichannels sweep run -ndjson` for the same spec and
+// seed. Every cell still goes through the server-wide (hash, seed)
+// single-flight cache (and the durable store underneath it), so a
+// refined sweep that overlaps earlier requests recomputes nothing.
+func (s *Server) v1SweepsRefined(w http.ResponseWriter, r *http.Request, nsw scenario.Sweep, baseSeed int64) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// The controller runs cells on engine workers; each worker resolves
+	// its cell through the server cache. served records which keys were
+	// answered from memory or the durable tier — written on the worker
+	// goroutine, read on the emitter goroutine, hence the sync.Map.
+	var served sync.Map
+	runFn := func(ctx context.Context, n scenario.Scenario, seed int64) (*scenario.Result, error) {
+		key := cacheKey{Hash: n.Hash(), Seed: seed}
+		ent, cached := s.entry(key)
+		s.compute(key, ent, func() (*scenario.Result, error) {
+			return s.runScenarioIsolated(r, n, seed)
+		})
+		<-ent.ready
+		if ent.served(cached) {
+			served.Store(key, true)
+		}
+		return ent.result, ent.err
+	}
+	res, err := sweep.Run(r.Context(), nsw, sweep.Options{
+		BaseSeed: baseSeed,
+		Parallel: s.refinedParallel(),
+		Run:      runFn,
+		OnPass: func(p sweep.PassStats) error {
+			if err := sweep.WritePassLine(w, p); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		},
+		OnCell: func(o sweep.CellOutcome) error {
+			_, cached := served.Load(cacheKey{Hash: o.Hash, Seed: o.Seed})
+			line := sweepLine{
+				Index: o.Cell.Index, Name: o.Cell.Scenario.Name, Axes: o.Cell.Axes,
+				Hash: o.Hash, Seed: o.Seed, Pass: o.Pass, Cached: cached,
+				ElapsedUS: float64(o.Elapsed) / float64(time.Microsecond),
+			}
+			if o.Err != nil {
+				line.Error = errBody(CodeRunFailed, "%s (seed %d): %v", o.Cell.Scenario.Describe(), o.Seed, o.Err)
+			} else {
+				line.Result = o.Result
+			}
+			if err := enc.Encode(line); err != nil {
+				return err
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		// The stream has started; ending it early (client disconnect,
+		// write failure) is the safe degradation — in-flight cells
+		// still complete into the cache for the next request.
+		return
+	}
+	res.WriteAggregateLine(w)
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -100,7 +100,10 @@ func (e *Env) TSC() int64 { return e.M.TSC(e.M.Now()) }
 
 // Agent is a reactive software context: each time its previous action
 // completes, Next is asked for the following one. prev is nil on the first
-// call. Agents run entirely inside the deterministic event loop.
+// call and is only valid for the duration of that call — the machine
+// reuses the Result storage for the thread's next transition, so an
+// agent that needs a field later must copy the value out. Agents run
+// entirely inside the deterministic event loop.
 type Agent interface {
 	Name() string
 	Next(env *Env, prev *Result) Action
@@ -112,6 +115,20 @@ type SWThread struct {
 	env     Env
 	agent   Agent
 	stopped bool
+
+	// In-flight action state and the reused Result. One hardware thread
+	// runs one action at a time, so a single pending slot per thread
+	// suffices; binding the completion callbacks once per thread keeps
+	// the agent transition loop — the single hottest path of the
+	// simulator — free of per-step closure and Result allocations.
+	pendAct    Action
+	pendStart  units.Time
+	pendTSC    int64
+	pendCtr    uarch.Counters
+	res        Result
+	onDone     func(units.Time) // completes ActExec / ActSpinUntil
+	onIdleDone func(units.Time) // completes ActIdleFor
+	idleName   string
 }
 
 // Agent returns the bound agent.
@@ -144,10 +161,37 @@ func (m *Machine) Bind(coreID, slot int, a Agent) (*SWThread, error) {
 	if a == nil {
 		return nil, fmt.Errorf("soc: nil agent")
 	}
-	t := &SWThread{m: m, agent: a, env: Env{M: m, CoreID: coreID, Slot: slot}}
+	t := &SWThread{m: m, agent: a, env: Env{M: m, CoreID: coreID, Slot: slot},
+		idleName: "soc.idle." + a.Name()}
+	t.onDone = t.completeMeasured
+	t.onIdleDone = t.completeIdle
 	m.threads = append(m.threads, t)
 	m.Q.After(0, "soc.bind."+a.Name(), func(units.Time) { m.step(t, nil) })
 	return t, nil
+}
+
+// completeMeasured finishes an ActExec/ActSpinUntil action: fill the
+// thread's reused Result from the pending state and step the agent.
+func (t *SWThread) completeMeasured(end units.Time) {
+	m := t.m
+	core := m.Cores[t.env.CoreID]
+	t.res = Result{
+		Action: t.pendAct, Start: t.pendStart, End: end,
+		StartTSC: t.pendTSC, EndTSC: m.ReadTSC(end),
+		Counters: core.Counters(t.env.Slot, end).Sub(t.pendCtr),
+	}
+	m.step(t, &t.res)
+}
+
+// completeIdle finishes an ActIdleFor action (no counters: the thread
+// was off-core).
+func (t *SWThread) completeIdle(end units.Time) {
+	m := t.m
+	t.res = Result{
+		Action: t.pendAct, Start: t.pendStart, End: end,
+		StartTSC: t.pendTSC, EndTSC: m.TSC(end),
+	}
+	m.step(t, &t.res)
 }
 
 // step drives one agent transition: deliver the previous result, obtain
@@ -164,38 +208,21 @@ func (m *Machine) step(t *SWThread, prev *Result) {
 		t.stopped = true
 
 	case ActExec:
-		startCtr := core.Counters(t.env.Slot, now)
-		startTSC := m.ReadTSC(now)
-		core.Start(t.env.Slot, act.Kernel, act.Iters, func(end units.Time) {
-			res := &Result{
-				Action: act, Start: now, End: end,
-				StartTSC: startTSC, EndTSC: m.ReadTSC(end),
-				Counters: core.Counters(t.env.Slot, end).Sub(startCtr),
-			}
-			m.step(t, res)
-		})
+		t.pendAct, t.pendStart = act, now
+		t.pendCtr = core.Counters(t.env.Slot, now)
+		t.pendTSC = m.ReadTSC(now)
+		core.Start(t.env.Slot, act.Kernel, act.Iters, t.onDone)
 
 	case ActSpinUntil:
-		startCtr := core.Counters(t.env.Slot, now)
-		startTSC := m.ReadTSC(now)
-		core.Spin(t.env.Slot, act.Until, func(end units.Time) {
-			res := &Result{
-				Action: act, Start: now, End: end,
-				StartTSC: startTSC, EndTSC: m.ReadTSC(end),
-				Counters: core.Counters(t.env.Slot, end).Sub(startCtr),
-			}
-			m.step(t, res)
-		})
+		t.pendAct, t.pendStart = act, now
+		t.pendCtr = core.Counters(t.env.Slot, now)
+		t.pendTSC = m.ReadTSC(now)
+		core.Spin(t.env.Slot, act.Until, t.onDone)
 
 	case ActIdleFor:
-		startTSC := m.TSC(now)
-		m.Q.After(act.Dur, "soc.idle."+t.agent.Name(), func(end units.Time) {
-			res := &Result{
-				Action: act, Start: now, End: end,
-				StartTSC: startTSC, EndTSC: m.TSC(end),
-			}
-			m.step(t, res)
-		})
+		t.pendAct, t.pendStart = act, now
+		t.pendTSC = m.TSC(now)
+		m.Q.After(act.Dur, t.idleName, t.onIdleDone)
 
 	default:
 		panic(fmt.Sprintf("soc: agent %q returned invalid action kind %v", t.agent.Name(), act.Kind))

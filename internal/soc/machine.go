@@ -75,6 +75,9 @@ type Machine struct {
 	opts     Options
 
 	lastPower units.Watt
+	// actScratch is the reusable per-probe activity buffer; its values
+	// are consumed before the probe returns, never retained.
+	actScratch []uarch.ThreadActivity
 }
 
 // New builds and initializes a machine. The returned machine is at
@@ -248,25 +251,50 @@ type PowerState struct {
 
 // Probe computes the instantaneous electrical state and advances the
 // thermal model to now. Experiments and the trace recorder call this at
-// their sampling rate.
+// their sampling rate. The returned per-core slices are freshly
+// allocated (the trace recorder retains whole samples); agents that
+// poll per slot and need only scalars use ProbeScalars.
 func (m *Machine) Probe() PowerState {
+	ipc := make([]float64, len(m.Cores))
+	st := m.probe(ipc)
+	st.CoreIPC = ipc
+	throttled := make([]bool, len(m.Cores))
+	for i, c := range m.Cores {
+		throttled[i] = c.Throttled()
+	}
+	st.Throttled = throttled
+	st.Licenses = m.PMU.Licenses()
+	return st
+}
+
+// ProbeScalars is Probe without the per-core slices (CoreIPC, Throttled,
+// Licenses stay nil): the same electrical computation and thermal-model
+// advance, but allocation-free — the form for agents that sample the
+// machine every slot (e.g. the PowerT receiver polling temperature).
+func (m *Machine) ProbeScalars() PowerState {
+	return m.probe(nil)
+}
+
+// probe computes the scalar electrical state, accumulating per-core IPC
+// into ipc when non-nil.
+func (m *Machine) probe(ipc []float64) PowerState {
 	now := m.Q.Now()
 	vcc := m.PMU.Voltage(0, now)
 	freq := m.PMU.Frequency()
 
 	var cdyn float64
-	ipc := make([]float64, len(m.Cores))
-	throttled := make([]bool, len(m.Cores))
 	for i, c := range m.Cores {
-		throttled[i] = c.Throttled()
 		busy := false
-		for _, a := range c.Activity() {
+		m.actScratch = c.AppendActivity(m.actScratch[:0])
+		for _, a := range m.actScratch {
 			if !a.Busy {
 				continue
 			}
 			busy = true
 			cdyn += (m.Proc.Cdyn.PerClass[a.Class] - m.Proc.Cdyn.Idle) * a.CdynScale * a.RateFraction
-			ipc[i] += a.RateFraction // relative to ~1 uop/cycle kernels
+			if ipc != nil {
+				ipc[i] += a.RateFraction // relative to ~1 uop/cycle kernels
+			}
 		}
 		if busy {
 			cdyn += m.Proc.Cdyn.Idle
@@ -281,16 +309,13 @@ func (m *Machine) Probe() PowerState {
 	m.lastPower = watts
 
 	return PowerState{
-		T:         now,
-		Vcc:       vcc,
-		Vccload:   m.loadLine.LoadVoltage(vcc, icc),
-		Icc:       icc,
-		Power:     watts,
-		Freq:      freq,
-		Temp:      temp,
-		CoreIPC:   ipc,
-		Throttled: throttled,
-		Licenses:  m.PMU.Licenses(),
+		T:       now,
+		Vcc:     vcc,
+		Vccload: m.loadLine.LoadVoltage(vcc, icc),
+		Icc:     icc,
+		Power:   watts,
+		Freq:    freq,
+		Temp:    temp,
 	}
 }
 

@@ -187,7 +187,7 @@ func parseEntryName(name string) (Key, bool) {
 
 // walk visits every regular file under the store root in deterministic
 // (lexical) order.
-func (f *FS) walk(fn func(path string, name string, size int64) error) error {
+func (f *FS) walk(fn func(path string, name string, size int64, mtime time.Time) error) error {
 	return filepath.WalkDir(f.dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -199,7 +199,7 @@ func (f *FS) walk(fn func(path string, name string, size int64) error) error {
 		if err != nil {
 			return err
 		}
-		return fn(path, d.Name(), info.Size())
+		return fn(path, d.Name(), info.Size(), info.ModTime())
 	})
 }
 
@@ -208,7 +208,7 @@ func (f *FS) walk(fn func(path string, name string, size int64) error) error {
 // emits [] rather than null.
 func (f *FS) List() ([]Entry, error) {
 	out := []Entry{}
-	err := f.walk(func(path, name string, size int64) error {
+	err := f.walk(func(path, name string, size int64, _ time.Time) error {
 		if key, ok := parseEntryName(name); ok {
 			out = append(out, Entry{Key: key, Size: size})
 		}
@@ -246,7 +246,7 @@ type VerifyReport struct {
 // checksum, and result decodability.
 func (f *FS) Verify() (*VerifyReport, error) {
 	rep := &VerifyReport{}
-	err := f.walk(func(path, name string, size int64) error {
+	err := f.walk(func(path, name string, size int64, _ time.Time) error {
 		key, ok := parseEntryName(name)
 		if !ok {
 			rep.Stray++
@@ -269,6 +269,19 @@ func (f *FS) Verify() (*VerifyReport, error) {
 	return rep, nil
 }
 
+// GCOptions bounds what GCWith retains beyond the always-removed
+// corruption and stray temporaries — the retention knobs CI scratch
+// corpora need (results are deterministic, so an evicted entry costs a
+// recompute, never data).
+type GCOptions struct {
+	// MaxAge, when positive, removes intact entries whose file
+	// modification time is older than now − MaxAge.
+	MaxAge time.Duration
+	// MaxBytes, when positive, evicts intact entries oldest-first
+	// until the surviving corpus is at most this many bytes.
+	MaxBytes int64
+}
+
 // GCReport summarizes a garbage-collection pass.
 type GCReport struct {
 	// RemovedCorrupt counts entries deleted because they failed the
@@ -277,6 +290,11 @@ type GCReport struct {
 	RemovedCorrupt int   `json:"removed_corrupt"`
 	RemovedStray   int   `json:"removed_stray"`
 	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+	// RemovedExpired counts intact entries past GCOptions.MaxAge;
+	// RemovedOverBudget intact entries evicted oldest-first to fit
+	// GCOptions.MaxBytes.
+	RemovedExpired    int `json:"removed_expired,omitempty"`
+	RemovedOverBudget int `json:"removed_over_budget,omitempty"`
 	// Kept counts the intact entries that survive.
 	Kept int `json:"kept"`
 }
@@ -295,18 +313,36 @@ type gcCandidate struct {
 	size int64
 }
 
+// gcIntact is one healthy entry, carried through the retention passes.
+type gcIntact struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
 // GC removes what cannot ever be served: corrupt entries (their
 // deterministic results are recomputable on demand) and abandoned
 // temporary files (older than gcTmpAge — a younger one may belong to a
-// live writer). Intact entries are never evicted — persistence has no
-// capacity bound here; bounding memory is the serve cache's job.
+// live writer). Intact entries are never evicted — use GCWith for
+// age/size-bounded retention.
 func (f *FS) GC() (*GCReport, error) {
+	return f.GCWith(GCOptions{})
+}
+
+// GCWith is GC plus retention: after the corruption and stray-file
+// sweep, intact entries older than MaxAge are removed, then the
+// oldest survivors are evicted until the corpus fits MaxBytes. Zero
+// options make it plain GC. Eviction order is oldest modification
+// time first (ties by path), so a CI scratch corpus keeps its most
+// recently materialized results.
+func (f *FS) GCWith(opts GCOptions) (*GCReport, error) {
 	rep := &GCReport{}
 	var removeTmp []string
 	var corrupt []gcCandidate
+	var intact []gcIntact
 	var reclaim int64
 	cutoff := time.Now().Add(-gcTmpAge)
-	err := f.walk(func(path, name string, size int64) error {
+	err := f.walk(func(path, name string, size int64, mtime time.Time) error {
 		key, ok := parseEntryName(name)
 		if !ok {
 			if strings.HasPrefix(name, tmpPrefix) {
@@ -327,7 +363,7 @@ func (f *FS) GC() (*GCReport, error) {
 			corrupt = append(corrupt, gcCandidate{path: path, key: key, size: size})
 			return nil
 		}
-		rep.Kept++
+		intact = append(intact, gcIntact{path: path, size: size, mtime: mtime})
 		return nil
 	})
 	if err != nil {
@@ -346,7 +382,11 @@ func (f *FS) GC() (*GCReport, error) {
 		data, err := os.ReadFile(c.path)
 		if err == nil {
 			if _, err := decodeEnvelope(c.key, data); err == nil {
-				rep.Kept++
+				info, statErr := os.Stat(c.path)
+				if statErr != nil {
+					continue
+				}
+				intact = append(intact, gcIntact{path: c.path, size: info.Size(), mtime: info.ModTime()})
 				continue
 			}
 		} else if os.IsNotExist(err) {
@@ -358,6 +398,52 @@ func (f *FS) GC() (*GCReport, error) {
 		rep.RemovedCorrupt++
 		reclaim += c.size
 	}
+
+	// Retention pass 1: age bound.
+	if opts.MaxAge > 0 {
+		ageCutoff := time.Now().Add(-opts.MaxAge)
+		survivors := intact[:0]
+		for _, e := range intact {
+			if e.mtime.Before(ageCutoff) {
+				if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+					return nil, fmt.Errorf("store: gc: %w", err)
+				}
+				rep.RemovedExpired++
+				reclaim += e.size
+				continue
+			}
+			survivors = append(survivors, e)
+		}
+		intact = survivors
+	}
+
+	// Retention pass 2: size budget, oldest out first.
+	if opts.MaxBytes > 0 {
+		var total int64
+		for _, e := range intact {
+			total += e.size
+		}
+		if total > opts.MaxBytes {
+			sort.Slice(intact, func(i, j int) bool {
+				if !intact[i].mtime.Equal(intact[j].mtime) {
+					return intact[i].mtime.Before(intact[j].mtime)
+				}
+				return intact[i].path < intact[j].path
+			})
+			for len(intact) > 0 && total > opts.MaxBytes {
+				e := intact[0]
+				intact = intact[1:]
+				if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+					return nil, fmt.Errorf("store: gc: %w", err)
+				}
+				rep.RemovedOverBudget++
+				reclaim += e.size
+				total -= e.size
+			}
+		}
+	}
+
+	rep.Kept = len(intact)
 	rep.ReclaimedBytes = reclaim
 	return rep, nil
 }

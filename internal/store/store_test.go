@@ -271,3 +271,106 @@ func TestParseEntryName(t *testing.T) {
 		}
 	}
 }
+
+// backdate rewinds an entry file's mtime so retention tests can age
+// entries without sleeping.
+func backdate(t *testing.T, fs *FS, key Key, age time.Duration) {
+	t.Helper()
+	old := time.Now().Add(-age)
+	if err := os.Chtimes(fs.path(key), old, old); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCWithMaxAge(t *testing.T) {
+	fs := openTest(t)
+	oldKey := Key{Hash: "aaaa304958aabbcc", Seed: 1}
+	newKey := Key{Hash: "bbbb304958aabbcc", Seed: 2}
+	for _, k := range []Key{oldKey, newKey} {
+		if err := fs.Put(k, testResult(k.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	backdate(t, fs, oldKey, 96*time.Hour)
+
+	rep, err := fs.GCWith(GCOptions{MaxAge: 72 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedExpired != 1 || rep.Kept != 1 {
+		t.Fatalf("report %+v, want 1 expired / 1 kept", rep)
+	}
+	if rep.ReclaimedBytes <= 0 {
+		t.Error("expired entry reclaimed no bytes")
+	}
+	if _, ok, _ := fs.Get(oldKey); ok {
+		t.Error("expired entry still served")
+	}
+	if _, ok, err := fs.Get(newKey); err != nil || !ok {
+		t.Errorf("fresh entry lost (ok=%v err=%v)", ok, err)
+	}
+}
+
+func TestGCWithMaxBytesEvictsOldestFirst(t *testing.T) {
+	fs := openTest(t)
+	keys := []Key{
+		{Hash: "aaaa304958aabbcc", Seed: 1},
+		{Hash: "bbbb304958aabbcc", Seed: 2},
+		{Hash: "cccc304958aabbcc", Seed: 3},
+	}
+	var each int64
+	for i, k := range keys {
+		if err := fs.Put(k, testResult(k.Seed)); err != nil {
+			t.Fatal(err)
+		}
+		// Strictly increasing ages: keys[0] oldest.
+		backdate(t, fs, k, time.Duration(len(keys)-i)*time.Hour)
+		info, err := os.Stat(fs.path(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		each = info.Size()
+	}
+
+	// Budget for exactly two entries: the oldest one must go.
+	rep, err := fs.GCWith(GCOptions{MaxBytes: 2 * each})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedOverBudget != 1 || rep.Kept != 2 {
+		t.Fatalf("report %+v, want 1 over-budget / 2 kept", rep)
+	}
+	if _, ok, _ := fs.Get(keys[0]); ok {
+		t.Error("oldest entry survived a budget that fits only two")
+	}
+	for _, k := range keys[1:] {
+		if _, ok, err := fs.Get(k); err != nil || !ok {
+			t.Errorf("entry %v evicted out of order (ok=%v err=%v)", k, ok, err)
+		}
+	}
+
+	// A budget everything fits under removes nothing.
+	rep, err = fs.GCWith(GCOptions{MaxBytes: 100 * each})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedOverBudget != 0 || rep.Kept != 2 {
+		t.Fatalf("no-op budget report %+v", rep)
+	}
+}
+
+func TestGCWithZeroOptionsIsPlainGC(t *testing.T) {
+	fs := openTest(t)
+	key := Key{Hash: "aaaa304958aabbcc", Seed: 9}
+	if err := fs.Put(key, testResult(9)); err != nil {
+		t.Fatal(err)
+	}
+	backdate(t, fs, key, 1000*time.Hour)
+	rep, err := fs.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RemovedExpired != 0 || rep.RemovedOverBudget != 0 || rep.Kept != 1 {
+		t.Fatalf("plain GC applied retention: %+v", rep)
+	}
+}

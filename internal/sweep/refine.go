@@ -1,0 +1,326 @@
+package sweep
+
+import (
+	"context"
+	"sort"
+
+	"ichannels/internal/scenario"
+)
+
+// PassStats is the deterministic header of one executed pass of a
+// refined sweep: which pass, how many cells it runs, and how the
+// per-pass budget shaped it. It is both a Result record and the NDJSON
+// pass marker's payload.
+type PassStats struct {
+	// Pass numbers the passes; 0 is the coarse pass.
+	Pass int `json:"pass"`
+	// Cells is how many cells this pass computes (post-truncation).
+	Cells int `json:"cells"`
+	// Candidates is how many cells were eligible before the per-pass
+	// budget; Truncated = Candidates - Cells cells were deferred (they
+	// remain eligible next pass).
+	Candidates int `json:"candidates"`
+	Truncated  int `json:"truncated,omitempty"`
+}
+
+// RefinementStats records the shape of one adaptive run: the watched
+// metric, the passes executed, and the computed-vs-dense cell counts
+// the ROADMAP's "65k-cell sweep mostly recomputes flat regions" item
+// asks to surface. Like the aggregate, it is a pure function of
+// (sweep, base seed) — wall-clock never enters it.
+type RefinementStats struct {
+	Metric    string  `json:"metric"`
+	Threshold float64 `json:"threshold"`
+	// DenseCells is the post-filter size of the full grid; CellsComputed
+	// how many of them the adaptive run actually simulated.
+	DenseCells    int         `json:"dense_cells"`
+	CellsComputed int         `json:"cells_computed"`
+	Passes        []PassStats `json:"passes"`
+}
+
+// refiner holds the immutable geometry of one refined run.
+type refiner struct {
+	nsw     scenario.Sweep
+	ref     *scenario.Refine
+	groupBy []string
+	// axisPos maps each refined axis's value label to its position on
+	// the axis; axisVal is the inverse. Labels are unique per axis
+	// (validated) and cells carry normalized labels, so the recovery is
+	// exact.
+	axisPos map[string]map[string]int
+	axisVal map[string][]string
+	// restBy caches, per refined axis, the group_by list with that axis
+	// removed — the "context" key of an interval along the axis.
+	restBy map[string][]string
+	// hashCache memoizes each dense cell's content hash across passes
+	// (every pass walks the dense grid; the hash is the walk's most
+	// expensive per-cell step). denseCells is the post-filter grid
+	// size, counted on the first walk.
+	hashCache  map[int]string
+	denseCells int
+}
+
+// runRefined executes a sweep with a refine block: a coarse strided
+// pass, then midpoint expansion of every group_by region whose metric
+// moves, until the regions flatten, the grid is locally dense, or the
+// pass cap is reached. nsw must be normalized and validated.
+func runRefined(ctx context.Context, nsw scenario.Sweep, opts Options) (*Result, error) {
+	r, err := newRefiner(nsw)
+	if err != nil {
+		return nil, err
+	}
+	st := newExecState(nsw, opts)
+	stats := &RefinementStats{
+		Metric: r.ref.Metric, Threshold: r.ref.Threshold,
+	}
+	computed := map[int]bool{}
+	// pending carries cells a pass selected but the budget deferred:
+	// they stay selected until run, so truncation mid-group can never
+	// strand part of a group (the aggregate would silently mix full and
+	// partial sample sets otherwise).
+	pending := map[int]bool{}
+
+	// candidates selects the next pass's cells beyond the coarse
+	// skeleton and the deferred backlog: the scored midpoint groups.
+	// Candidate groups are full group_by keys; nil means "coarse (and
+	// pending) only" — the first pass.
+	var candidates map[string]bool
+	for pass := 0; pass <= r.ref.MaxPasses; pass++ {
+		cells, err := r.collect(computed, pending, candidates)
+		if err != nil {
+			return nil, err
+		}
+		if stats.DenseCells == 0 {
+			stats.DenseCells = r.denseCells
+		}
+		if len(cells) == 0 {
+			break
+		}
+		ps := PassStats{Pass: pass, Candidates: len(cells)}
+		if b := r.ref.MaxCellsPerPass; len(cells) > b {
+			// Deterministic truncation: the hash order the cells are
+			// already sorted in. The deferred suffix joins pending and
+			// is re-collected until it runs.
+			for _, c := range cells[b:] {
+				pending[c.Index] = true
+			}
+			cells = cells[:b]
+		}
+		ps.Cells = len(cells)
+		ps.Truncated = ps.Candidates - ps.Cells
+		stats.Passes = append(stats.Passes, ps)
+		if opts.OnPass != nil {
+			if err := opts.OnPass(ps); err != nil {
+				return nil, err
+			}
+		}
+		i := 0
+		next := func() (scenario.Cell, bool, error) {
+			if i >= len(cells) {
+				return scenario.Cell{}, false, nil
+			}
+			c := cells[i]
+			i++
+			return c, true, nil
+		}
+		if err := st.execute(ctx, next, pass); err != nil {
+			return nil, err
+		}
+		for _, c := range cells {
+			computed[c.Index] = true
+			delete(pending, c.Index)
+		}
+		candidates = r.score(st.agg)
+	}
+	stats.CellsComputed = len(st.res.Cells)
+	st.res.Refinement = stats
+	res := st.finish()
+	return res, nil
+}
+
+// newRefiner derives the axis geometry from the normalized sweep.
+func newRefiner(nsw scenario.Sweep) (*refiner, error) {
+	r := &refiner{
+		nsw:       nsw,
+		ref:       nsw.Refine,
+		groupBy:   nsw.EffectiveGroupBy(),
+		axisPos:   map[string]map[string]int{},
+		axisVal:   map[string][]string{},
+		restBy:    map[string][]string{},
+		hashCache: map[int]string{},
+	}
+	labels, err := nsw.AxisLabels()
+	if err != nil {
+		return nil, err
+	}
+	for axis := range r.ref.Stride {
+		vals := labels[axis]
+		pos := make(map[string]int, len(vals))
+		for i, v := range vals {
+			pos[v] = i
+		}
+		r.axisPos[axis] = pos
+		r.axisVal[axis] = vals
+		rest := make([]string, 0, len(r.groupBy)-1)
+		for _, g := range r.groupBy {
+			if g != axis {
+				rest = append(rest, g)
+			}
+		}
+		r.restBy[axis] = rest
+	}
+	return r, nil
+}
+
+// coarse reports whether a cell belongs to the coarse skeleton: every
+// refined axis sits on a stride multiple or the axis endpoint.
+func (r *refiner) coarse(axes map[string]string) bool {
+	for axis, s := range r.ref.Stride {
+		p := r.axisPos[axis][axes[axis]]
+		if p%s != 0 && p != len(r.axisVal[axis])-1 {
+			return false
+		}
+	}
+	return true
+}
+
+// collect walks the dense grid once and gathers the next pass's cells:
+// uncomputed cells that are in the coarse skeleton, deferred from an
+// earlier pass's budget, or in a candidate group. The result is sorted
+// by scenario content hash (ties by dense index) — the deterministic
+// dispatch and budget-truncation order.
+func (r *refiner) collect(computed, pending map[int]bool, candidates map[string]bool) ([]scenario.Cell, error) {
+	type keyed struct {
+		cell scenario.Cell
+		hash string
+	}
+	var out []keyed
+	n := 0
+	err := r.nsw.EachCell(func(c scenario.Cell) error {
+		n++
+		if computed[c.Index] {
+			return nil
+		}
+		if !pending[c.Index] && !r.coarse(c.Axes) && !candidates[groupID(r.groupBy, c.Axes)] {
+			return nil
+		}
+		h, ok := r.hashCache[c.Index]
+		if !ok {
+			h = c.Scenario.Hash()
+			r.hashCache[c.Index] = h
+		}
+		out = append(out, keyed{cell: c, hash: h})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.denseCells = n
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].hash != out[j].hash {
+			return out[i].hash < out[j].hash
+		}
+		return out[i].cell.Index < out[j].cell.Index
+	})
+	cells := make([]scenario.Cell, len(out))
+	for i, k := range out {
+		cells[i] = k.cell
+	}
+	return cells, nil
+}
+
+// score inspects the cumulative aggregate and returns the group keys to
+// expand next: for every refined axis and every context (the other
+// group_by axes), adjacent computed positions whose interval still has
+// a gap and whose metric moved by at least the threshold contribute
+// their midpoint group.
+func (r *refiner) score(agg *Aggregator) map[string]bool {
+	out := map[string]bool{}
+	for axis := range r.ref.Stride {
+		rest := r.restBy[axis]
+		// Bucket the aggregator's groups by context, keeping only those
+		// with at least one successful sample (errors carry no metric).
+		type point struct {
+			pos  int
+			mean float64
+			span float64
+		}
+		byContext := map[string][]point{}
+		contextKey := map[string]map[string]string{}
+		for _, acc := range agg.groups {
+			xs := acc.metricSamples(r.ref.Metric)
+			if len(xs) == 0 {
+				continue
+			}
+			mean, lo, hi := meanMinMax(xs)
+			ctx := groupID(rest, acc.key)
+			byContext[ctx] = append(byContext[ctx], point{
+				pos: r.axisPos[axis][acc.key[axis]], mean: mean, span: hi - lo,
+			})
+			if _, ok := contextKey[ctx]; !ok {
+				contextKey[ctx] = acc.key
+			}
+		}
+		ctxs := make([]string, 0, len(byContext))
+		for ctx := range byContext {
+			ctxs = append(ctxs, ctx)
+		}
+		sort.Strings(ctxs)
+		for _, ctx := range ctxs {
+			pts := byContext[ctx]
+			sort.Slice(pts, func(i, j int) bool { return pts[i].pos < pts[j].pos })
+			for i := 0; i+1 < len(pts); i++ {
+				a, b := pts[i], pts[i+1]
+				if b.pos-a.pos < 2 {
+					continue // locally dense already
+				}
+				score := b.mean - a.mean
+				if score < 0 {
+					score = -score
+				}
+				if a.span > score {
+					score = a.span
+				}
+				if b.span > score {
+					score = b.span
+				}
+				if score < r.ref.Threshold {
+					continue // flat region: stays coarse
+				}
+				mid := (a.pos + b.pos) / 2
+				key := make(map[string]string, len(r.groupBy))
+				for _, g := range rest {
+					key[g] = contextKey[ctx][g]
+				}
+				key[axis] = r.axisVal[axis][mid]
+				out[groupID(r.groupBy, key)] = true
+			}
+		}
+	}
+	return out
+}
+
+// metricSamples returns the group's samples of the refinement metric.
+func (acc *groupAcc) metricSamples(metric string) []float64 {
+	if metric == scenario.RefineMetricThroughput {
+		return acc.bps
+	}
+	return acc.ber
+}
+
+// meanMinMax reduces xs without allocating (the aggregator's Metric
+// rendering is for tables; scoring only needs these three).
+func meanMinMax(xs []float64) (mean, lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return sum / float64(len(xs)), lo, hi
+}

@@ -56,6 +56,11 @@ type Options struct {
 	// hook the CLI's NDJSON mode and the HTTP layer print from. A
 	// non-nil error stops the sweep.
 	OnCell func(CellOutcome) error
+	// OnPass, when set on a refined sweep, receives each pass's
+	// deterministic header before any of its cells stream — the hook
+	// behind the NDJSON pass markers. Never called for dense sweeps. A
+	// non-nil error stops the sweep.
+	OnPass func(PassStats) error
 }
 
 // WithStore returns the options with the result store set — the fluent
@@ -68,11 +73,14 @@ func (o Options) WithStore(st store.Store) Options {
 // CellOutcome is one completed grid cell: the cell (normalized spec +
 // axis labels), its content hash (computed once per cell), the
 // effective seed, and the run's result or error. Cached marks a result
-// served from the configured store instead of computed.
+// served from the configured store instead of computed. Pass is the
+// refinement pass that computed the cell (0 for dense sweeps and the
+// coarse pass).
 type CellOutcome struct {
 	Cell    scenario.Cell
 	Hash    string
 	Seed    int64
+	Pass    int
 	Result  *scenario.Result
 	Err     error
 	Cached  bool
@@ -87,6 +95,7 @@ type CellSummary struct {
 	Axes  map[string]string `json:"axes"`
 	Hash  string            `json:"hash"`
 	Seed  int64             `json:"seed"`
+	Pass  int               `json:"pass,omitempty"`
 	Bits  int               `json:"bits,omitempty"`
 	// ThroughputBPS/BER/Verdict are zero/empty when Error is set.
 	ThroughputBPS float64 `json:"throughput_bps,omitempty"`
@@ -113,15 +122,20 @@ type Result struct {
 	Cached int `json:"cached"`
 	// Aggregate is the grouped reduction of the successful cells.
 	Aggregate *Table `json:"aggregate"`
+	// Refinement records the adaptive run's shape (nil for dense runs):
+	// passes, cells computed, and the dense-grid equivalent. Like the
+	// aggregate it is a pure function of (sweep, base seed).
+	Refinement *RefinementStats `json:"refinement,omitempty"`
 	// Elapsed is the sweep wall-clock time (nondeterministic).
 	Elapsed time.Duration `json:"-"`
 }
 
 // Run expands and executes a sweep, streaming cells through the engine
-// worker pool and reducing them on the fly. It returns an error for an
-// unrunnable sweep (invalid spec) or a stopped stream (OnCell error);
-// per-cell failures land in the summaries/Failed and do not stop the
-// grid.
+// worker pool and reducing them on the fly. A sweep with a refine block
+// runs adaptively (see scenario.Refine); every other sweep runs its
+// dense grid. It returns an error for an unrunnable sweep (invalid
+// spec) or a stopped stream (OnCell error); per-cell failures land in
+// the summaries/Failed and do not stop the grid.
 func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) {
 	nsw := sw.Normalized()
 	// Two expansion passes by design: the pre-flight validates every
@@ -132,13 +146,41 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 	if err := nsw.Validate(); err != nil {
 		return nil, err
 	}
+	if nsw.Refine != nil {
+		return runRefined(ctx, nsw, opts)
+	}
 	it, err := nsw.Cells()
 	if err != nil {
 		return nil, err
 	}
-	agg := NewAggregator(nsw.EffectiveGroupBy())
-	res := &Result{Hash: nsw.Hash(), BaseSeed: opts.BaseSeed}
+	st := newExecState(nsw, opts)
+	if err := st.execute(ctx, it.Next, 0); err != nil {
+		return nil, err
+	}
+	return st.finish(), nil
+}
 
+// execState accumulates one sweep run across its execution passes (one
+// for a dense grid, several for a refined one).
+type execState struct {
+	opts Options
+	agg  *Aggregator
+	res  *Result
+}
+
+func newExecState(nsw scenario.Sweep, opts Options) *execState {
+	return &execState{
+		opts: opts,
+		agg:  NewAggregator(nsw.EffectiveGroupBy()),
+		res:  &Result{Hash: nsw.Hash(), BaseSeed: opts.BaseSeed},
+	}
+}
+
+// execute streams the cells yielded by next through the engine worker
+// pool, folding each outcome into the summaries and the aggregator.
+// pass labels the outcomes (0 for dense sweeps and the coarse pass).
+func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bool, error), pass int) error {
+	opts := st.opts
 	// Cells emit in dispatch order, so a FIFO of pending cells pairs
 	// each emitted outcome back with its axis labels; its length is
 	// bounded by the engine window. Next runs on the engine's
@@ -151,7 +193,7 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 	)
 	stats, err := engine.StreamScenarios(ctx, engine.StreamOptions{
 		Next: func() (scenario.Scenario, bool) {
-			cell, ok, err := it.Next()
+			cell, ok, err := next()
 			if err != nil {
 				iterErr = err
 				return scenario.Scenario{}, false
@@ -175,10 +217,10 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 			cellQueue = cellQueue[1:]
 			queueMu.Unlock()
 			hash := o.Hash // computed once per slot by the engine dispatcher
-			out := CellOutcome{Cell: cell, Hash: hash, Seed: o.Seed, Result: o.Result, Err: o.Err, Cached: o.Cached, Elapsed: o.Elapsed}
+			out := CellOutcome{Cell: cell, Hash: hash, Seed: o.Seed, Pass: pass, Result: o.Result, Err: o.Err, Cached: o.Cached, Elapsed: o.Elapsed}
 			s := CellSummary{
 				Index: cell.Index, Name: cell.Scenario.Name, Axes: cell.Axes,
-				Hash: hash, Seed: o.Seed,
+				Hash: hash, Seed: o.Seed, Pass: pass,
 			}
 			if o.Err != nil {
 				s.Error = o.Err.Error()
@@ -188,8 +230,8 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 				s.BER = o.Result.BER
 				s.Verdict = o.Result.Verdict
 			}
-			res.Cells = append(res.Cells, s)
-			agg.Add(cell.Axes, o.Result, o.Err)
+			st.res.Cells = append(st.res.Cells, s)
+			st.agg.Add(cell.Axes, o.Result, o.Err)
 			if opts.OnCell != nil {
 				return opts.OnCell(out)
 			}
@@ -197,17 +239,22 @@ func Run(ctx context.Context, sw scenario.Sweep, opts Options) (*Result, error) 
 		},
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if iterErr != nil {
-		return nil, iterErr
+		return iterErr
 	}
-	res.Parallel = stats.Parallel
-	res.Failed = stats.Failed
-	res.Cached = stats.Cached
-	res.Elapsed = stats.Elapsed
-	res.Aggregate = agg.Table(res.Hash, opts.BaseSeed)
-	return res, nil
+	st.res.Parallel = stats.Parallel
+	st.res.Failed += stats.Failed
+	st.res.Cached += stats.Cached
+	st.res.Elapsed += stats.Elapsed
+	return nil
+}
+
+// finish renders the run's aggregate and returns the result.
+func (st *execState) finish() *Result {
+	st.res.Aggregate = st.agg.Table(st.res.Hash, st.opts.BaseSeed)
+	return st.res
 }
 
 // ---- grouped reduction ----
@@ -286,20 +333,27 @@ func NewAggregator(groupBy []string) *Aggregator {
 	return &Aggregator{groupBy: groupBy, groups: map[string]*groupAcc{}}
 }
 
+// groupID encodes a cell's group_by coordinates as the aggregator's
+// (and the refinement controller's) canonical group key.
+func groupID(groupBy []string, axes map[string]string) string {
+	var sb strings.Builder
+	for _, g := range groupBy {
+		sb.WriteString(g)
+		sb.WriteByte('\x00')
+		sb.WriteString(axes[g])
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
 // Add folds one cell outcome in. axes labels the cell's coordinates;
 // res may be nil when err is set (the cell still counts, toward Errors).
 func (a *Aggregator) Add(axes map[string]string, res *scenario.Result, err error) {
 	key := make(map[string]string, len(a.groupBy))
-	var sb strings.Builder
 	for _, g := range a.groupBy {
-		v := axes[g]
-		key[g] = v
-		sb.WriteString(g)
-		sb.WriteByte('\x00')
-		sb.WriteString(v)
-		sb.WriteByte('\x00')
+		key[g] = axes[g]
 	}
-	id := sb.String()
+	id := groupID(a.groupBy, axes)
 	acc := a.groups[id]
 	if acc == nil {
 		acc = &groupAcc{key: key}
@@ -355,6 +409,7 @@ type CellLine struct {
 	Axes      map[string]string `json:"axes"`
 	Hash      string            `json:"hash"`
 	Seed      int64             `json:"seed"`
+	Pass      int               `json:"pass,omitempty"`
 	Cached    bool              `json:"cached"`
 	ElapsedUS float64           `json:"elapsed_us"`
 	Error     string            `json:"error,omitempty"`
@@ -365,7 +420,7 @@ type CellLine struct {
 func LineOf(o CellOutcome) CellLine {
 	l := CellLine{
 		Index: o.Cell.Index, Name: o.Cell.Scenario.Name, Axes: o.Cell.Axes,
-		Hash: o.Hash, Seed: o.Seed, Cached: o.Cached,
+		Hash: o.Hash, Seed: o.Seed, Pass: o.Pass, Cached: o.Cached,
 		ElapsedUS: float64(o.Elapsed) / float64(time.Microsecond),
 	}
 	if o.Err != nil {
@@ -376,17 +431,38 @@ func LineOf(o CellOutcome) CellLine {
 	return l
 }
 
+// passLine frames a refinement pass header as an NDJSON marker line —
+// emitted before the pass's cells by both the CLI's -ndjson mode and
+// POST /v1/sweeps.
+type passLine struct {
+	Pass PassStats `json:"pass"`
+}
+
+// WritePassLine writes one pass marker's NDJSON framing.
+func WritePassLine(w io.Writer, p PassStats) error {
+	return json.NewEncoder(w).Encode(passLine{Pass: p})
+}
+
 // aggregateLine frames the aggregate as the final NDJSON line of a
 // sweep stream; the HTTP layer emits the identical framing, so the
 // trailing line of `ichannels sweep run -ndjson` and of POST /v1/sweeps
-// are byte-comparable.
+// are byte-comparable. Refined sweeps carry their refinement record
+// (cells computed vs the dense grid) in the same line.
 type aggregateLine struct {
-	Aggregate *Table `json:"aggregate"`
+	Aggregate  *Table           `json:"aggregate"`
+	Refinement *RefinementStats `json:"refinement,omitempty"`
 }
 
-// WriteAggregateLine writes the aggregate's NDJSON framing.
+// WriteAggregateLine writes the aggregate's NDJSON framing (dense
+// sweeps; refined runs use Result.WriteAggregateLine).
 func WriteAggregateLine(w io.Writer, t *Table) error {
 	return json.NewEncoder(w).Encode(aggregateLine{Aggregate: t})
+}
+
+// WriteAggregateLine writes the run's trailing NDJSON line: the
+// aggregate, plus the refinement record when the run was adaptive.
+func (r *Result) WriteAggregateLine(w io.Writer) error {
+	return json.NewEncoder(w).Encode(aggregateLine{Aggregate: r.Aggregate, Refinement: r.Refinement})
 }
 
 // WriteJSON writes the machine-readable sweep result: the compact cell
@@ -424,6 +500,12 @@ func (r *Result) WriteText(w io.Writer) error {
 	if err := writeAligned(w, rows); err != nil {
 		return err
 	}
+	if ref := r.Refinement; ref != nil {
+		if _, err := fmt.Fprintf(w, "\nrefined on %s (threshold %g): %d of %d dense cells over %d passes\n",
+			ref.Metric, ref.Threshold, ref.CellsComputed, ref.DenseCells, len(ref.Passes)); err != nil {
+			return err
+		}
+	}
 	if _, err := fmt.Fprintf(w, "\naggregate (group by %s):\n", strings.Join(r.Aggregate.GroupBy, ", ")); err != nil {
 		return err
 	}
@@ -432,8 +514,12 @@ func (r *Result) WriteText(w io.Writer) error {
 
 // WriteTiming writes a wall-clock summary (intended for stderr).
 func (r *Result) WriteTiming(w io.Writer) {
-	fmt.Fprintf(w, "sweep %s: %d cells, %d failed, %d cached, parallel %d, %.2fms total\n",
-		r.Hash, len(r.Cells), r.Failed, r.Cached, r.Parallel,
+	refined := ""
+	if ref := r.Refinement; ref != nil {
+		refined = fmt.Sprintf(" (refined: %d/%d dense)", ref.CellsComputed, ref.DenseCells)
+	}
+	fmt.Fprintf(w, "sweep %s: %d cells%s, %d failed, %d cached, parallel %d, %.2fms total\n",
+		r.Hash, len(r.Cells), refined, r.Failed, r.Cached, r.Parallel,
 		float64(r.Elapsed)/float64(time.Millisecond))
 }
 

@@ -160,6 +160,23 @@ type hwThread struct {
 	completion *sched.Event
 	wakeEv     *sched.Event
 
+	// Prebound event callbacks and precomputed event names. The agent
+	// transition loop schedules completion/spin/wake/resume events on
+	// every slot of every transaction; binding these once per thread
+	// keeps the per-event cost to the sched.Event allocation alone.
+	completionFn func(units.Time)
+	spinEndFn    func(units.Time)
+	wakeFn       func(units.Time)
+	resumeFn     func(units.Time)
+	setRunning   func()
+	setSpinning  func()
+	incPreempt   func()
+	decPreempt   func()
+	doneName     string
+	spinEndName  string
+	wakeName     string
+	resumeName   string
+
 	ctr Counters
 }
 
@@ -218,7 +235,25 @@ func NewCore(cfg Config, q *sched.Queue, cm CurrentManager) (*Core, error) {
 	}
 	c.threads = make([]*hwThread, cfg.SMTWays)
 	for i := range c.threads {
-		c.threads[i] = &hwThread{core: c, slot: i, state: tsIdle}
+		t := &hwThread{core: c, slot: i, state: tsIdle}
+		prefix := fmt.Sprintf("core%d.t%d.", cfg.ID, i)
+		t.doneName = prefix + "done"
+		t.spinEndName = prefix + "spinend"
+		t.wakeName = prefix + "wake"
+		t.resumeName = prefix + "resume"
+		t.completionFn = t.onCompletion
+		t.spinEndFn = t.onSpinEnd
+		t.wakeFn = t.onWake
+		t.resumeFn = t.onResume
+		t.setRunning = func() { t.state = tsRunning }
+		t.setSpinning = func() { t.state = tsSpinning }
+		t.incPreempt = func() { t.preempted++ }
+		t.decPreempt = func() {
+			if t.preempted > 0 {
+				t.preempted--
+			}
+		}
+		c.threads[i] = t
 	}
 	return c, nil
 }
@@ -362,7 +397,19 @@ type ThreadActivity struct {
 
 // Activity returns the current activity of every hardware thread.
 func (c *Core) Activity() []ThreadActivity {
-	out := make([]ThreadActivity, len(c.threads))
+	return c.AppendActivity(nil)
+}
+
+// AppendActivity appends the current activity of every hardware thread
+// to dst and returns the extended slice — the allocation-free form for
+// callers that sample at high rate and consume the values immediately
+// (the electrical probe reuses one scratch buffer per machine).
+func (c *Core) AppendActivity(dst []ThreadActivity) []ThreadActivity {
+	base := len(dst)
+	for range c.threads {
+		dst = append(dst, ThreadActivity{})
+	}
+	out := dst[base:]
 	for i, t := range c.threads {
 		switch t.state {
 		case tsRunning:
@@ -380,7 +427,7 @@ func (c *Core) Activity() []ThreadActivity {
 			out[i] = ThreadActivity{}
 		}
 	}
-	return out
+	return dst
 }
 
 func (c *Core) thread(slot int) *hwThread {
@@ -426,13 +473,10 @@ func (c *Core) Start(slot int, k isa.Kernel, iters int64, onDone func(units.Time
 	t.lastAccrue = now
 	if wake > 0 {
 		t.state = tsWaking
-		t.wakeEv = c.q.After(wake, fmt.Sprintf("core%d.t%d.wake", c.cfg.ID, slot), func(tm units.Time) {
-			t.wakeEv = nil
-			c.repriceAll(tm, func() { t.state = tsRunning })
-		})
+		t.wakeEv = c.q.After(wake, t.wakeName, t.wakeFn)
 		c.repriceAll(now, nil) // waking occupies the slot: reprice siblings
 	} else {
-		c.repriceAll(now, func() { t.state = tsRunning })
+		c.repriceAll(now, t.setRunning)
 	}
 
 	// License handling: executing a class above the granted license
@@ -467,11 +511,8 @@ func (c *Core) Spin(slot int, until units.Time, onDone func(units.Time)) {
 	t.onDone = onDone
 	t.spinEnd = until
 	t.lastAccrue = now
-	c.repriceAll(now, func() { t.state = tsSpinning })
-	t.completion = c.q.At(until, fmt.Sprintf("core%d.t%d.spinend", c.cfg.ID, slot), func(tm units.Time) {
-		t.completion = nil
-		c.finishThread(t, tm)
-	})
+	c.repriceAll(now, t.setSpinning)
+	t.completion = c.q.At(until, t.spinEndName, t.spinEndFn)
 }
 
 // Preempt simulates OS noise (an interrupt or context switch) landing on a
@@ -481,14 +522,8 @@ func (c *Core) Spin(slot int, until units.Time, onDone func(units.Time)) {
 func (c *Core) Preempt(slot int, dur units.Duration) {
 	t := c.thread(slot)
 	now := c.q.Now()
-	c.repriceAll(now, func() { t.preempted++ })
-	c.q.After(dur, fmt.Sprintf("core%d.t%d.resume", c.cfg.ID, slot), func(tm units.Time) {
-		c.repriceAll(tm, func() {
-			if t.preempted > 0 {
-				t.preempted--
-			}
-		})
-	})
+	c.repriceAll(now, t.incPreempt)
+	c.q.After(dur, t.resumeName, t.resumeFn)
 }
 
 // finishThread retires the thread's current work and invokes its callback.
@@ -606,10 +641,7 @@ func (t *hwThread) reprice(now units.Time) {
 	t.completion = nil
 	if t.remUops <= 1e-9 {
 		// Finished exactly at a boundary: complete now.
-		t.completion = c.q.At(now, fmt.Sprintf("core%d.t%d.done", c.cfg.ID, t.slot), func(tm units.Time) {
-			t.completion = nil
-			c.finishThread(t, tm)
-		})
+		t.completion = c.q.At(now, t.doneName, t.completionFn)
 		return
 	}
 	if rate <= 0 {
@@ -620,18 +652,40 @@ func (t *hwThread) reprice(now units.Time) {
 	if doneAt == now {
 		doneAt = now.Add(1) // guarantee forward progress at ps resolution
 	}
-	t.completion = c.q.At(doneAt, fmt.Sprintf("core%d.t%d.done", c.cfg.ID, t.slot), func(tm units.Time) {
-		t.completion = nil
-		t.accrue(tm)
-		if t.remUops > 1e-6 {
-			// A state change mid-flight outdated this event; reprice.
-			t.reprice(tm)
-			if t.completion != nil {
-				return
-			}
+	t.completion = c.q.At(doneAt, t.doneName, t.completionFn)
+}
+
+// onCompletion handles a completion event (prebound per thread): accrue
+// progress, reprice if a mid-flight state change outdated the event, and
+// finish otherwise. An exactly-at-boundary completion (remUops already
+// zero) accrues nothing and falls straight through to finishThread.
+func (t *hwThread) onCompletion(tm units.Time) {
+	t.completion = nil
+	t.accrue(tm)
+	if t.remUops > 1e-6 {
+		t.reprice(tm)
+		if t.completion != nil {
+			return
 		}
-		c.finishThread(t, tm)
-	})
+	}
+	t.core.finishThread(t, tm)
+}
+
+// onSpinEnd handles a spin deadline (prebound per thread).
+func (t *hwThread) onSpinEnd(tm units.Time) {
+	t.completion = nil
+	t.core.finishThread(t, tm)
+}
+
+// onWake handles a power-gate wake completing (prebound per thread).
+func (t *hwThread) onWake(tm units.Time) {
+	t.wakeEv = nil
+	t.core.repriceAll(tm, t.setRunning)
+}
+
+// onResume handles an OS-noise preemption ending (prebound per thread).
+func (t *hwThread) onResume(tm units.Time) {
+	t.core.repriceAll(tm, t.decPreempt)
 }
 
 func maxDuration(a, b units.Duration) units.Duration {

@@ -40,14 +40,23 @@ func (c PowerGateConfig) Validate() error {
 // The local PMU opens it on first use (paying the staggered wake latency)
 // and closes it after IdleTimeout without use, unless the unit is still
 // in active use at that moment.
+//
+// The idle timer is deadline-lazy: uses only advance the recorded
+// deadline (lastUse + IdleTimeout); one scheduled event serves a whole
+// busy streak and re-arms itself at the still-future deadline when it
+// fires early. The gate still closes at exactly the same simulated time
+// as an eager cancel-and-reschedule would, but a use in the hot path
+// costs no event allocation.
 type PowerGate struct {
-	cfg     PowerGateConfig
-	name    string
-	q       *sched.Queue
-	inUse   func() bool // still actively executing on the unit?
-	open    bool
-	lastUse units.Time
-	closeEv *sched.Event
+	cfg       PowerGateConfig
+	name      string
+	closeName string
+	q         *sched.Queue
+	inUse     func() bool // still actively executing on the unit?
+	open      bool
+	lastUse   units.Time
+	closeEv   *sched.Event
+	onIdle    func(units.Time) // prebound onIdleTimer, allocated once
 
 	// Wakes counts gate-open transitions (observable in Fig. 8(b) as the
 	// first-iteration latency delta).
@@ -64,7 +73,9 @@ func NewPowerGate(name string, cfg PowerGateConfig, q *sched.Queue, inUse func()
 	if inUse == nil {
 		inUse = func() bool { return false }
 	}
-	return &PowerGate{cfg: cfg, name: name, q: q, inUse: inUse}, nil
+	g := &PowerGate{cfg: cfg, name: name, closeName: name + ".close", q: q, inUse: inUse}
+	g.onIdle = g.onIdleTimer
+	return g, nil
 }
 
 // Open reports whether the gate is currently open (units powered).
@@ -78,12 +89,12 @@ func (g *PowerGate) Use(now units.Time) units.Duration {
 	}
 	g.lastUse = now
 	if g.open {
-		g.rescheduleClose(now)
+		g.armClose()
 		return 0
 	}
 	g.open = true
 	g.Wakes++
-	g.rescheduleClose(now)
+	g.armClose()
 	return g.cfg.WakeLatency
 }
 
@@ -94,22 +105,31 @@ func (g *PowerGate) Touch(now units.Time) {
 		return
 	}
 	g.lastUse = now
-	g.rescheduleClose(now)
+	g.armClose()
 }
 
-func (g *PowerGate) rescheduleClose(now units.Time) {
-	g.q.Cancel(g.closeEv)
-	g.closeEv = g.q.At(g.lastUse.Add(g.cfg.IdleTimeout), g.name+".close", g.onIdleTimer)
+// armClose ensures a close timer is pending. An already-live timer is
+// left alone: it may fire before the current deadline, but onIdleTimer
+// re-arms at the true deadline, so the close time is unchanged.
+func (g *PowerGate) armClose() {
+	if g.closeEv == nil || g.closeEv.Cancelled() {
+		g.closeEv = g.q.At(g.lastUse.Add(g.cfg.IdleTimeout), g.closeName, g.onIdle)
+	}
 }
 
 func (g *PowerGate) onIdleTimer(now units.Time) {
 	if !g.open {
 		return
 	}
+	if deadline := g.lastUse.Add(g.cfg.IdleTimeout); deadline > now {
+		// Used since this timer was armed: sleep on to the live deadline.
+		g.closeEv = g.q.At(deadline, g.closeName, g.onIdle)
+		return
+	}
 	if g.inUse() {
 		// Unit still busy: check again a full timeout later.
 		g.lastUse = now
-		g.rescheduleClose(now)
+		g.closeEv = g.q.At(now.Add(g.cfg.IdleTimeout), g.closeName, g.onIdle)
 		return
 	}
 	g.open = false

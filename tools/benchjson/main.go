@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR4.json
-//	go run ./tools/benchjson compare [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR4.json
+//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR5.json
+//	go run ./tools/benchjson compare [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR5.json
+//	go run ./tools/benchjson trend [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json
 //
-// compare is report-only (the ROADMAP's fail-soft contract): it prints
-// per-metric regressions and improvements beyond the threshold plus
-// added/removed benchmarks, and exits non-zero only when a snapshot is
-// unreadable — never because a metric moved.
+// compare diffs one snapshot pair; trend fits a per-step slope across
+// N snapshots (oldest first) so slow drifts surface, not just step
+// regressions. Both are report-only (the ROADMAP's fail-soft
+// contract): they print movements beyond the threshold and exit
+// non-zero only when a snapshot is unreadable — never because a metric
+// moved.
 package main
 
 import (
@@ -45,6 +48,13 @@ var procSuffix = fmt.Sprintf("-%d", runtime.GOMAXPROCS(0))
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		if err := runCompare(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trend" {
+		if err := runTrend(os.Args[2:], os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Trend is one metric's trajectory across N snapshots of the same
+// benchmark. Slope is the least-squares slope per snapshot step,
+// expressed as a percentage of the series mean (so a +5 means the
+// metric drifts up ~5% of its typical value every PR); LastDeltaPct is
+// the plain old→new percentage of the final step — together they
+// separate slow drifts from step changes, which is exactly what a
+// single-pair compare cannot do.
+type Trend struct {
+	Name     string    `json:"name"`
+	Metric   string    `json:"metric"`
+	Values   []float64 `json:"values"`
+	Points   int       `json:"points"`
+	SlopePct float64   `json:"slope_pct"`
+	// LastDeltaPct is 0 when the previous point was zero/unmeasured.
+	LastDeltaPct float64 `json:"last_delta_pct"`
+}
+
+// TrendReport classifies every (benchmark, metric) series present in
+// at least two snapshots. Like compare it is report-only: CI prints it
+// so drifts surface in review, but a noisy runner cannot fail a build.
+type TrendReport struct {
+	Snapshots    []string `json:"snapshots"`
+	ThresholdPct float64  `json:"threshold_pct"`
+	// Drifts lists series whose |slope| meets the threshold, steepest
+	// first; Flat counts the series that did not.
+	Drifts []Trend `json:"drifts,omitempty"`
+	Flat   int     `json:"flat"`
+}
+
+// slopePct fits v = a + b·i by least squares over the snapshot indices
+// and normalizes b by the series mean. A constant series (or one with
+// mean zero) has slope zero.
+func slopePct(vals []float64) float64 {
+	n := float64(len(vals))
+	var sumI, sumV, sumIV, sumII float64
+	for i, v := range vals {
+		fi := float64(i)
+		sumI += fi
+		sumV += v
+		sumIV += fi * v
+		sumII += fi * fi
+	}
+	den := n*sumII - sumI*sumI
+	mean := sumV / n
+	if den == 0 || mean == 0 {
+		return 0
+	}
+	b := (n*sumIV - sumI*sumV) / den
+	return b / math.Abs(mean) * 100
+}
+
+// trendEntries builds the per-series trajectories from snapshots in
+// the given (chronological) order. Series missing from a snapshot are
+// carried as gaps: only snapshots that measured the metric contribute
+// points, and fewer than two points yields no trend.
+func trendEntries(snaps []map[string]*Entry, paths []string, thresholdPct float64) *TrendReport {
+	rep := &TrendReport{Snapshots: paths, ThresholdPct: thresholdPct}
+	names := map[string]bool{}
+	for _, s := range snaps {
+		for n := range s {
+			names[n] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		for _, m := range compareMetrics {
+			var vals []float64
+			for _, s := range snaps {
+				e, ok := s[name]
+				if !ok {
+					continue
+				}
+				if v := m.get(e); v > 0 {
+					vals = append(vals, v)
+				}
+			}
+			if len(vals) < 2 {
+				continue
+			}
+			tr := Trend{
+				Name: name, Metric: m.name, Values: vals, Points: len(vals),
+				SlopePct: slopePct(vals),
+			}
+			if prev := vals[len(vals)-2]; prev > 0 {
+				tr.LastDeltaPct = (vals[len(vals)-1] - prev) / prev * 100
+			}
+			if math.Abs(tr.SlopePct) >= thresholdPct {
+				rep.Drifts = append(rep.Drifts, tr)
+			} else {
+				rep.Flat++
+			}
+		}
+	}
+	sort.Slice(rep.Drifts, func(i, j int) bool {
+		a, b := math.Abs(rep.Drifts[i].SlopePct), math.Abs(rep.Drifts[j].SlopePct)
+		if a != b {
+			return a > b
+		}
+		if rep.Drifts[i].Name != rep.Drifts[j].Name {
+			return rep.Drifts[i].Name < rep.Drifts[j].Name
+		}
+		return rep.Drifts[i].Metric < rep.Drifts[j].Metric
+	})
+	return rep
+}
+
+// writeTrend renders the report for humans (CI logs).
+func writeTrend(w io.Writer, rep *TrendReport) {
+	fmt.Fprintf(w, "benchjson trend: %d snapshots (%s … %s), |slope| ≥ %.0f%%/step\n",
+		len(rep.Snapshots), rep.Snapshots[0], rep.Snapshots[len(rep.Snapshots)-1], rep.ThresholdPct)
+	if len(rep.Drifts) == 0 {
+		fmt.Fprintf(w, "no drifting metrics (%d series flat)\n", rep.Flat)
+		return
+	}
+	for _, d := range rep.Drifts {
+		fmt.Fprintf(w, "  %-44s %-10s %+7.1f%%/step  last %+7.1f%%  over %d points\n",
+			d.Name, d.Metric, d.SlopePct, d.LastDeltaPct, d.Points)
+	}
+	fmt.Fprintf(w, "%d drifting series, %d flat\n", len(rep.Drifts), rep.Flat)
+}
+
+// runTrend implements `benchjson trend snap1.json ... snapN.json`,
+// snapshots oldest first. The error return covers unusable inputs
+// only; drifts never fail the run (report-only, like compare).
+func runTrend(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchjson trend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 5, "report series whose per-step slope is at least this percent of their mean")
+	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 2 {
+		return fmt.Errorf("usage: benchjson trend [-threshold PCT] [-json] oldest.json ... newest.json (≥ 2 snapshots)")
+	}
+	if *threshold <= 0 {
+		return fmt.Errorf("threshold must be positive, got %v", *threshold)
+	}
+	var snaps []map[string]*Entry
+	for _, path := range fs.Args() {
+		s, err := loadEntries(path)
+		if err != nil {
+			return err
+		}
+		snaps = append(snaps, s)
+	}
+	rep := trendEntries(snaps, fs.Args(), *threshold)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	writeTrend(stdout, rep)
+	return nil
+}

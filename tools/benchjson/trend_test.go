@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snap builds one snapshot fixture.
+func snap(entries map[string]Entry) map[string]*Entry {
+	out := map[string]*Entry{}
+	for n, e := range entries {
+		e := e
+		out[n] = &e
+	}
+	return out
+}
+
+func TestTrendDetectsSlowDrift(t *testing.T) {
+	// +5% ns/op per snapshot: below a 10% pairwise compare threshold at
+	// every step, but a clear drift over four points.
+	snaps := []map[string]*Entry{
+		snap(map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 100}}),
+		snap(map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 105}}),
+		snap(map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 110}}),
+		snap(map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 115}}),
+	}
+	rep := trendEntries(snaps, []string{"a", "b", "c", "d"}, 2)
+	if len(rep.Drifts) != 1 {
+		t.Fatalf("drifts: %+v, want exactly BenchmarkX ns/op", rep.Drifts)
+	}
+	d := rep.Drifts[0]
+	if d.Name != "BenchmarkX" || d.Metric != "ns/op" || d.Points != 4 {
+		t.Fatalf("drift identity wrong: %+v", d)
+	}
+	// Perfectly linear series: slope 5/mean(107.5) ≈ 4.65%/step.
+	if math.Abs(d.SlopePct-5/107.5*100) > 1e-9 {
+		t.Errorf("slope %.4f%%, want %.4f%%", d.SlopePct, 5/107.5*100)
+	}
+	if math.Abs(d.LastDeltaPct-(115.0-110)/110*100) > 1e-9 {
+		t.Errorf("last delta %.4f%%, want %.4f%%", d.LastDeltaPct, (115.0-110)/110*100)
+	}
+}
+
+func TestTrendFlatAndNoiseStayQuiet(t *testing.T) {
+	// A flat series and a zero-mean (unmeasured) metric produce no
+	// drift rows; alternating noise has near-zero slope.
+	snaps := []map[string]*Entry{
+		snap(map[string]Entry{"BenchmarkFlat": {NsPerOp: 100, AllocsPerOp: 7}, "BenchmarkNoise": {NsPerOp: 100}}),
+		snap(map[string]Entry{"BenchmarkFlat": {NsPerOp: 100, AllocsPerOp: 7}, "BenchmarkNoise": {NsPerOp: 120}}),
+		snap(map[string]Entry{"BenchmarkFlat": {NsPerOp: 100, AllocsPerOp: 7}, "BenchmarkNoise": {NsPerOp: 100}}),
+		snap(map[string]Entry{"BenchmarkFlat": {NsPerOp: 100, AllocsPerOp: 7}, "BenchmarkNoise": {NsPerOp: 120}}),
+	}
+	rep := trendEntries(snaps, []string{"a", "b", "c", "d"}, 5)
+	if len(rep.Drifts) != 0 {
+		t.Fatalf("unexpected drifts: %+v", rep.Drifts)
+	}
+	// BenchmarkFlat ns/op + allocs/op, BenchmarkNoise ns/op = 3 series.
+	if rep.Flat != 3 {
+		t.Errorf("flat series %d, want 3", rep.Flat)
+	}
+}
+
+func TestTrendHandlesGapsAndNewBenchmarks(t *testing.T) {
+	// A benchmark absent from the middle snapshot still trends over its
+	// measured points; one present only once yields no series.
+	snaps := []map[string]*Entry{
+		snap(map[string]Entry{"BenchmarkGap": {NsPerOp: 100}}),
+		snap(map[string]Entry{"BenchmarkNew": {NsPerOp: 50}}),
+		snap(map[string]Entry{"BenchmarkGap": {NsPerOp: 200}}),
+	}
+	rep := trendEntries(snaps, []string{"a", "b", "c"}, 5)
+	if len(rep.Drifts) != 1 || rep.Drifts[0].Name != "BenchmarkGap" {
+		t.Fatalf("drifts: %+v, want BenchmarkGap only", rep.Drifts)
+	}
+	if rep.Drifts[0].Points != 2 {
+		t.Errorf("gap series has %d points, want 2", rep.Drifts[0].Points)
+	}
+}
+
+func TestTrendSortsSteepestFirst(t *testing.T) {
+	snaps := []map[string]*Entry{
+		snap(map[string]Entry{"BenchmarkA": {NsPerOp: 100}, "BenchmarkB": {NsPerOp: 100}}),
+		snap(map[string]Entry{"BenchmarkA": {NsPerOp: 110}, "BenchmarkB": {NsPerOp: 150}}),
+	}
+	rep := trendEntries(snaps, []string{"a", "b"}, 1)
+	if len(rep.Drifts) != 2 || rep.Drifts[0].Name != "BenchmarkB" {
+		t.Fatalf("order wrong: %+v", rep.Drifts)
+	}
+}
+
+func TestRunTrendEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, entries map[string]*Entry) string {
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(entries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	p1 := write("one.json", snap(map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 100}}))
+	p2 := write("two.json", snap(map[string]Entry{"BenchmarkX": {Iterations: 1, NsPerOp: 140}}))
+
+	var out, errOut bytes.Buffer
+	if err := runTrend([]string{"-json", p1, p2}, &out, &errOut); err != nil {
+		t.Fatalf("runTrend: %v (stderr: %s)", err, errOut.String())
+	}
+	var rep TrendReport
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("bad JSON report: %v\n%s", err, out.String())
+	}
+	if len(rep.Drifts) != 1 || rep.Drifts[0].LastDeltaPct != 40 {
+		t.Fatalf("report: %+v", rep)
+	}
+
+	out.Reset()
+	if err := runTrend([]string{p1, p2}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BenchmarkX") {
+		t.Errorf("text report missing benchmark name:\n%s", out.String())
+	}
+
+	// Usable-input errors (too few snapshots, unreadable file) fail;
+	// drifts never do — that contract is the fail-soft CI step.
+	if err := runTrend([]string{p1}, &out, &errOut); err == nil {
+		t.Error("single snapshot should be rejected")
+	}
+	if err := runTrend([]string{p1, filepath.Join(dir, "missing.json")}, &out, &errOut); err == nil {
+		t.Error("unreadable snapshot should be rejected")
+	}
+}
