@@ -85,10 +85,13 @@ func usage() {
                                       run declarative scenario spec(s) (object or array per file)
   ichannels scenario schema           print the scenario spec JSON schema
   ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]] [-refine]
+                                     [-workers URL,URL,...]
                                       expand a parameter grid and run it (streaming, grouped aggregate;
                                       -store persists cells, -resume serves surviving cells from it;
                                       a spec with a refine block runs adaptively — coarse pass, then
-                                      only regions whose metric moves re-expand; -refine asserts one)
+                                      only regions whose metric moves re-expand; -refine asserts one;
+                                      -workers dispatches cells to 'serve -worker' nodes, with verified
+                                      responses, redispatch on failure, and byte-identical output)
   ichannels sweep expand <sweep.json|-> [-json]
                                       print a grid's expanded cells without running them
   ichannels sweep schema              print the sweep spec JSON schema
@@ -96,10 +99,11 @@ func usage() {
                                       list, integrity-check, or clean a result store directory
                                       (gc retention: drop entries older than -max-age, then evict
                                       oldest until the corpus fits -max-bytes — CI scratch bounds)
-  ichannels serve [-addr HOST:PORT] [-store DIR]
+  ichannels serve [-addr HOST:PORT] [-store DIR] [-worker]
                                       HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
                                       POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema
-                                      (+ legacy /experiments, /run/{name}; -store = durable result tier)
+                                      (+ legacy /experiments, /run/{name}; -store = durable result tier;
+                                      -worker adds POST /v1/cells, the distributed sweep cell endpoint)
   ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -365,6 +369,7 @@ func sweepRun(args []string) error {
 	storeDir := fs.String("store", "", "persist cell results to this store directory")
 	resume := fs.Bool("resume", false, "serve cells the store already holds instead of recomputing them (resume a killed sweep)")
 	refine := fs.Bool("refine", false, "require adaptive refinement: error unless the spec carries a refine block (a spec with one always runs refined)")
+	workers := fs.String("workers", "", "comma-separated worker base URLs (ichannels serve -worker nodes) to dispatch cells to")
 	sw, err := loadSweep("sweep run", args, fs)
 	if err != nil {
 		return err
@@ -383,6 +388,13 @@ func sweepRun(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := ichannels.SweepOptions{BaseSeed: *seed, Parallel: *parallel}.WithStore(st)
+	if *workers != "" {
+		pool, err := ichannels.NewWorkerPool(strings.Split(*workers, ","), ichannels.WorkerPoolOptions{})
+		if err != nil {
+			return fmt.Errorf("sweep run: %w", err)
+		}
+		opts.Runner = pool
+	}
 	var enc *json.Encoder
 	if *ndjsonOut {
 		enc = json.NewEncoder(os.Stdout)
@@ -409,6 +421,10 @@ func sweepRun(args []string) error {
 		return err
 	}
 	res.WriteTiming(os.Stderr)
+	if *workers != "" {
+		fmt.Fprintf(os.Stderr, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback\n",
+			res.RemoteDispatched, res.RemoteRedispatched, res.RemoteCorrupt, res.RemoteLocal)
+	}
 	if res.Failed > 0 {
 		return fmt.Errorf("sweep run: %d of %d cells failed", res.Failed, len(res.Cells))
 	}
@@ -557,16 +573,26 @@ func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	storeDir := fs.String("store", "", "durable result store directory (two-tier cache: memory over disk)")
+	worker := fs.Bool("worker", false, "additionally serve POST /v1/cells, the distributed sweep cell endpoint coordinators dispatch to")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	handler := ichannels.NewExperimentServer()
+	var st ichannels.ResultStore
 	if *storeDir != "" {
-		st, err := ichannels.OpenStore(*storeDir)
+		fsStore, err := ichannels.OpenStore(*storeDir)
 		if err != nil {
 			return err
 		}
+		st = fsStore
+	}
+	var handler http.Handler
+	switch {
+	case *worker:
+		handler = ichannels.NewWorkerServer(st)
+	case st != nil:
 		handler = ichannels.NewExperimentServerWithStore(st)
+	default:
+		handler = ichannels.NewExperimentServer()
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -580,7 +606,11 @@ func serveCmd(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	fmt.Fprintf(os.Stderr, "ichannels: serving the scenario API on http://%s (GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios, GET /v1/sweeps/schema, POST /v1/sweeps)\n", ln.Addr())
+	routes := "GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios, GET /v1/sweeps/schema, POST /v1/sweeps"
+	if *worker {
+		routes += ", POST /v1/cells"
+	}
+	fmt.Fprintf(os.Stderr, "ichannels: serving the scenario API on http://%s (%s)\n", ln.Addr(), routes)
 	select {
 	case err := <-errCh:
 		return err

@@ -85,6 +85,69 @@ func marshalSpecs(t *testing.T, specs []ichannels.Scenario, isArray bool) []byte
 	return blob
 }
 
+// FuzzParseCellDispatch fuzzes the coordinator↔worker wire frame (the
+// distributed tier's POST /v1/cells payload). Seeds are genuine
+// dispatch traffic: every cell of every checked-in example sweep,
+// framed exactly as the coordinator frames them, plus hand-written
+// frames. Invariants: the strict parser never panics, Validate never
+// panics on accepted frames, and parse → normalize → marshal is a
+// fixed point.
+func FuzzParseCellDispatch(f *testing.F) {
+	files, err := filepath.Glob("examples/sweeps/specs/*.json")
+	if err != nil || len(files) == 0 {
+		f.Fatalf("no seed sweeps (err=%v)", err)
+	}
+	for _, fn := range files {
+		data, err := os.ReadFile(fn)
+		if err != nil {
+			f.Fatal(err)
+		}
+		sw, err := ichannels.ParseSweepSpec(data)
+		if err != nil {
+			f.Fatal(err)
+		}
+		cells, err := ichannels.ExpandSweep(sw)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, c := range cells {
+			frame, err := json.Marshal(ichannels.NewCellDispatch(c.Scenario, c.Scenario.Hash(), 42))
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(frame)
+		}
+	}
+	f.Add([]byte(`{"v":1,"hash":"0011223344556677","seed":7,"scenario":{"role":"spy"}}`))
+	f.Add([]byte(`{"v":2,"hash":"","seed":-1,"scenario":{}}`))
+	f.Add([]byte(`{"v":1,"hash":"x","seed":1,"scenario":{"role":"channel","kind":"smt","bits":16,"noise":{}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ichannels.ParseCellDispatch(data)
+		if err != nil {
+			return // rejected frames only need to not panic
+		}
+		n := d.Normalized()
+		// Validate recomputes the scenario hash — the version-skew
+		// check — and must be panic-free on anything the parser admits.
+		_ = n.Validate()
+		blob, err := json.Marshal(n)
+		if err != nil {
+			t.Fatalf("marshal of parsed dispatch failed: %v", err)
+		}
+		d2, err := ichannels.ParseCellDispatch(blob)
+		if err != nil {
+			t.Fatalf("re-parse of normalized marshal failed: %v\n%s", err, blob)
+		}
+		blob2, err := json.Marshal(d2.Normalized())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("normalize/marshal is not a fixed point:\nfirst:  %s\nsecond: %s", blob, blob2)
+		}
+	})
+}
+
 func FuzzParseSweep(f *testing.F) {
 	seedFromSpecs(f, "examples/sweeps/specs/*.json")
 	f.Add([]byte(`{"base":{"role":"channel","kind":"cores"},"axes":{"bits":[4,8],"processor":["Haswell"]}}`))

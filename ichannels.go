@@ -46,6 +46,7 @@ import (
 
 	"ichannels/internal/baselines"
 	"ichannels/internal/core"
+	"ichannels/internal/dist"
 	"ichannels/internal/ecc"
 	"ichannels/internal/engine"
 	"ichannels/internal/exp"
@@ -525,6 +526,61 @@ func SweepCellLine(o SweepCellOutcome) SweepCellLineJSON { return sweep.LineOf(o
 // refinement record in the same line.
 func WriteSweepAggregateLine(w io.Writer, t *SweepTable) error {
 	return sweep.WriteAggregateLine(w, t)
+}
+
+// ---- Distributed execution ----
+
+// CellRunner is the hash-aware compute seam of the streaming engine:
+// set one on ScenarioBatchOptions/ScenarioStreamOptions/SweepOptions
+// (the Runner field) to delegate each cell's compute — the distributed
+// tier's WorkerPool is the remote implementation. Implementations must
+// honor the determinism contract: for a fixed (spec, seed) the returned
+// result's JSON encoding is byte-identical to a local run's.
+type CellRunner = engine.CellRunner
+
+// WorkerPool is the distributed sweep coordinator: a CellRunner that
+// dispatches cells to remote workers over the HTTP v1 wire, verifies
+// every response against the store's checksummed envelope format (a
+// byzantine or stale worker is rejected and its cell redispatched),
+// quarantines failing workers with exponential backoff, and falls back
+// to local compute so output bytes never depend on which machines were
+// alive. See internal/dist and docs/ARCHITECTURE.md.
+type WorkerPool = dist.Pool
+
+// WorkerPoolOptions configures a WorkerPool (HTTP client, retry
+// attempts, backoff, local-fallback policy).
+type WorkerPoolOptions = dist.Options
+
+// WorkerPoolStats snapshots a pool's counters: verified remote cells,
+// redispatches, rejected (byzantine/stale) responses, local fallbacks.
+type WorkerPoolStats = dist.Stats
+
+// NewWorkerPool builds a coordinator over worker base URLs — what
+// `ichannels sweep run -workers URL,URL` constructs.
+func NewWorkerPool(workers []string, opts WorkerPoolOptions) (*WorkerPool, error) {
+	return dist.New(workers, opts)
+}
+
+// CellDispatch is the coordinator→worker wire frame for one cell
+// (version, content hash, effective seed, normalized spec).
+type CellDispatch = dist.CellDispatch
+
+// NewCellDispatch frames one cell for the wire; ParseCellDispatch is
+// the strict decoder the worker endpoint uses (unknown fields and
+// trailing data rejected).
+var (
+	NewCellDispatch   = dist.NewCellDispatch
+	ParseCellDispatch = dist.ParseCellDispatch
+)
+
+// NewWorkerServer is NewExperimentServerWithStore plus the distributed
+// tier's cell endpoint (POST /v1/cells): the handler `ichannels serve
+// -worker` mounts. Workers share the single-flight (hash, seed) cache
+// with every other route, and with a non-nil store the durable corpus
+// too — cross-node dedup for free. Pass nil to run a memory-only
+// worker.
+func NewWorkerServer(st ResultStore) http.Handler {
+	return serve.New(serve.Options{Store: st, Worker: true}).Handler()
 }
 
 // ---- Adaptive sweep refinement ----

@@ -30,6 +30,9 @@ type ScenarioOptions struct {
 	Parallel int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run ScenarioRunFunc
+	// Runner, when set, takes precedence over Run — the hash-aware
+	// delegation seam (see StreamOptions.Runner).
+	Runner CellRunner
 	// Store, when set, serves scenarios whose (hash, seed) result it
 	// already holds and persists the rest — see StreamOptions.Store.
 	Store store.Store
@@ -131,6 +134,7 @@ func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, er
 		BaseSeed: opts.BaseSeed,
 		Parallel: b.Parallel,
 		Run:      opts.Run,
+		Runner:   opts.Runner,
 		Store:    opts.Store,
 		Emit: func(o ScenarioOutcome) error {
 			b.Results[emitted] = o
@@ -168,17 +172,6 @@ func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, er
 	}
 	b.Elapsed = stats.Elapsed
 	return b, nil
-}
-
-// runScenarioIsolated converts a runner panic into an error so one
-// broken scenario cannot take down a batch or a serving process.
-func runScenarioIsolated(ctx context.Context, run ScenarioRunFunc, s scenario.Scenario, seed int64) (res *scenario.Result, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			res, err = nil, fmt.Errorf("engine: scenario %s panicked: %v", s.Hash(), p)
-		}
-	}()
-	return run(ctx, s, seed)
 }
 
 // Failed returns the outcomes whose runner returned an error (or was

@@ -37,6 +37,14 @@ type StreamOptions struct {
 	Window int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run ScenarioRunFunc
+	// Runner, when set, takes precedence over Run: it receives each
+	// cell's precomputed content hash alongside the spec and seed — the
+	// delegation seam the distributed tier plugs into (a coordinator
+	// dispatches the cell to a remote worker and verifies the returned
+	// envelope against that hash). The store fetch-or-compute wrapping
+	// still applies: a stored cell is never delegated, and a delegated
+	// success is persisted like a local one.
+	Runner CellRunner
 	// Store, when set, is consulted before computing each scenario and
 	// persisted to after: a stored (hash, seed) result is emitted with
 	// Cached=true instead of recomputing, and every freshly computed
@@ -52,6 +60,30 @@ type StreamOptions struct {
 	Emit func(ScenarioOutcome) error
 }
 
+// CellRunner executes one scenario cell identified by its content hash
+// and effective seed — the compute seam StreamScenarios delegates
+// through when StreamOptions.Runner is set. The hash is the same value
+// the store keys on and the wire frames carry, computed once per cell
+// by the stream dispatcher. Implementations must honor the determinism
+// contract: for a fixed (spec, seed) the returned result's JSON
+// encoding is byte-identical to scenario.Run's, no matter where or how
+// the cell was computed. The in-process default wraps scenario.Runner;
+// the distributed coordinator (internal/dist) is the remote one.
+type CellRunner interface {
+	RunCell(ctx context.Context, s scenario.Scenario, hash string, seed int64) (*scenario.Result, error)
+}
+
+// RemoteCellStats is optionally implemented by a CellRunner that
+// delegates cells to remote workers (the dist coordinator).
+// StreamScenarios snapshots the counters into StreamStats after the
+// stream drains, so corruption and redispatch surface in the same
+// place cache and store activity does. Counters are cumulative over
+// the runner's lifetime — a multi-pass refined sweep reuses one
+// runner, so the final pass's snapshot is the run's total.
+type RemoteCellStats interface {
+	RemoteCellStats() (dispatched, redispatched, corrupt, localFallback int)
+}
+
 // StreamStats summarizes a completed (or stopped) stream.
 type StreamStats struct {
 	// Emitted counts outcomes handed to Emit.
@@ -65,6 +97,16 @@ type StreamStats struct {
 	// each was degraded to a miss or a skipped write, never a failed
 	// scenario.
 	StoreErrors int
+	// RemoteDispatched, RemoteRedispatched, RemoteCorrupt and
+	// RemoteLocal snapshot a delegating Runner's counters (see
+	// RemoteCellStats): cells served by a worker, dispatch attempts
+	// retried on another worker, worker results rejected by envelope
+	// verification (byzantine or stale workers), and cells that
+	// degraded to local compute. All zero for in-process runs.
+	RemoteDispatched   int
+	RemoteRedispatched int
+	RemoteCorrupt      int
+	RemoteLocal        int
 	// Parallel is the effective worker count.
 	Parallel int
 	// Elapsed is the stream wall-clock time.
@@ -110,6 +152,15 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 			return scenario.Runner{}.RunSeeded(ctx, s, seed)
 		}
 	}
+	// The hash-aware compute seam: a delegating Runner wins, otherwise
+	// the ScenarioRunFunc path (which predates the hash plumbing and
+	// derives nothing from it).
+	cellRun := func(ctx context.Context, s scenario.Scenario, hash string, seed int64) (*scenario.Result, error) {
+		return runFn(ctx, s, seed)
+	}
+	if opts.Runner != nil {
+		cellRun = opts.Runner.RunCell
+	}
 	workers := opts.Parallel
 	if workers < 1 {
 		workers = 1
@@ -142,7 +193,7 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 					o.Err = err
 				} else {
 					t0 := time.Now()
-					runSlot(ctx, runFn, opts.Store, o, &storeErrs)
+					runSlot(ctx, cellRun, opts.Store, o, &storeErrs)
 					o.Elapsed = time.Since(t0)
 				}
 				close(sl.ready)
@@ -216,6 +267,9 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 	}
 	wg.Wait()
 	stats.StoreErrors = int(storeErrs.Load())
+	if rs, ok := opts.Runner.(RemoteCellStats); ok {
+		stats.RemoteDispatched, stats.RemoteRedispatched, stats.RemoteCorrupt, stats.RemoteLocal = rs.RemoteCellStats()
+	}
 	stats.Elapsed = time.Since(start)
 	if emitErr != nil {
 		return stats, emitErr
@@ -232,7 +286,7 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 // deterministic too, but pinning them to disk would make a transient
 // environmental failure (out of memory, a panic from a since-fixed bug)
 // permanent.
-func runSlot(ctx context.Context, run ScenarioRunFunc, st store.Store, o *ScenarioOutcome, storeErrs *atomic.Int64) {
+func runSlot(ctx context.Context, run cellRunFunc, st store.Store, o *ScenarioOutcome, storeErrs *atomic.Int64) {
 	var key store.Key
 	if st != nil {
 		key = store.Key{Hash: o.Hash, Seed: o.Seed}
@@ -244,10 +298,25 @@ func runSlot(ctx context.Context, run ScenarioRunFunc, st store.Store, o *Scenar
 			return
 		}
 	}
-	o.Result, o.Err = runScenarioIsolated(ctx, run, o.Scenario, o.Seed)
+	o.Result, o.Err = runCellIsolated(ctx, run, o.Scenario, o.Hash, o.Seed)
 	if st != nil && o.Err == nil {
 		if err := st.Put(key, o.Result); err != nil {
 			storeErrs.Add(1)
 		}
 	}
+}
+
+// cellRunFunc is the hash-aware internal compute signature runSlot
+// executes through — CellRunner.RunCell's shape, whatever fills it.
+type cellRunFunc func(ctx context.Context, s scenario.Scenario, hash string, seed int64) (*scenario.Result, error)
+
+// runCellIsolated converts a runner panic into an error so one broken
+// cell (or a panicking delegation layer) cannot take down a stream.
+func runCellIsolated(ctx context.Context, run cellRunFunc, s scenario.Scenario, hash string, seed int64) (res *scenario.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, fmt.Errorf("engine: scenario %s panicked: %v", hash, p)
+		}
+	}()
+	return run(ctx, s, hash, seed)
 }

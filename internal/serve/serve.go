@@ -59,6 +59,7 @@ import (
 	"sync"
 	"time"
 
+	"ichannels/internal/dist"
 	"ichannels/internal/engine"
 	"ichannels/internal/exp"
 	"ichannels/internal/scenario"
@@ -117,6 +118,11 @@ type Options struct {
 	// eviction costs only memory, never the corpus. An unreadable
 	// entry degrades to a miss; a failed write to a skipped persist.
 	Store store.Store
+	// Worker additionally exposes the distributed tier's cell endpoint
+	// (POST /v1/cells, see internal/dist): a coordinator dispatches
+	// sweep cells here and verifies the checksummed envelope responses.
+	// Off by default — a plain API server is not a compute worker.
+	Worker bool
 }
 
 // Server runs scenarios on demand and caches their results.
@@ -126,6 +132,7 @@ type Server struct {
 	maxCache int
 	sem      chan struct{} // nil = unbounded; else bounds running simulations
 	store    store.Store   // nil = memory-only; else the durable tier
+	worker   bool          // serve the /v1/cells dispatch endpoint
 
 	mu         sync.Mutex
 	cache      map[cacheKey]*cacheEntry
@@ -204,6 +211,7 @@ func New(opts Options) *Server {
 		maxCache: maxCache,
 		sem:      sem,
 		store:    opts.Store,
+		worker:   opts.Worker,
 		cache:    map[cacheKey]*cacheEntry{},
 	}
 }
@@ -218,6 +226,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scenarios", s.v1Scenarios)
 	mux.HandleFunc("/v1/sweeps/schema", s.v1SweepSchema)
 	mux.HandleFunc("/v1/sweeps", s.v1Sweeps)
+	if s.worker {
+		mux.HandleFunc(dist.DispatchPath, s.v1Cells)
+	}
 	// Legacy shims (deprecated; see the package comment).
 	mux.HandleFunc("GET /experiments", s.handleList)
 	mux.HandleFunc("POST /run/{name}", s.handleRun)

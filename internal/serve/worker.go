@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+
+	"ichannels/internal/dist"
+	"ichannels/internal/scenario"
+	"ichannels/internal/store"
+)
+
+// CodeHashMismatch is the structured error code a worker answers when
+// the dispatched content hash does not match the hash it computes from
+// the same spec — coordinator/worker version skew (drifted
+// normalization or hashing). The coordinator quarantines the worker:
+// results computed under a disputed identity must never enter the
+// corpus.
+const CodeHashMismatch = "hash_mismatch"
+
+// v1Cells is the distributed tier's worker endpoint: POST /v1/cells
+// accepts one dist.CellDispatch frame, runs the cell through the same
+// single-flight (hash, seed) cache every other route shares — so a
+// fleet of coordinators deduplicates across nodes, and the durable
+// store stays the shared corpus — and answers with the store's
+// checksummed envelope encoding of the result. The coordinator verifies
+// that envelope with store.DecodeEnvelope, which is what makes a
+// byzantine or truncating transport detectable.
+func (s *Server) v1Cells(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodPost) {
+		return
+	}
+	if !requireJSON(w, r) {
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+			"request body exceeds %d bytes", maxBodyBytes)
+		return
+	}
+	d, err := dist.ParseCellDispatch(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "%v (wire version %d)", err, dist.DispatchVersion)
+		return
+	}
+	if d.V != dist.DispatchVersion {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"dispatch version %d; this worker speaks %d", d.V, dist.DispatchVersion)
+		return
+	}
+	if d.Seed <= 0 {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"dispatch seed %d: effective seeds are positive", d.Seed)
+		return
+	}
+	n := d.Scenario.Normalized()
+	if err := n.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidScenario, "%v", err)
+		return
+	}
+	// Recompute the identity instead of trusting the frame: a
+	// coordinator whose normalization or hashing drifted from this
+	// worker's must not get results filed under its idea of the hash.
+	if h := n.Hash(); h != d.Hash {
+		writeError(w, http.StatusConflict, CodeHashMismatch,
+			"dispatched hash %s, this worker computes %s: coordinator/worker version skew", d.Hash, h)
+		return
+	}
+	key := cacheKey{Hash: d.Hash, Seed: d.Seed}
+	ent, _ := s.entry(key)
+	s.compute(key, ent, func() (*scenario.Result, error) {
+		return s.runScenarioIsolated(r, n, d.Seed)
+	})
+	if ent.err != nil {
+		writeError(w, http.StatusInternalServerError, CodeRunFailed,
+			"%s (seed %d): %v", n.Describe(), d.Seed, ent.err)
+		return
+	}
+	env, err := store.EncodeEnvelope(store.Key(key), ent.result)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeRunFailed,
+			"encoding result envelope: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(env)
+}

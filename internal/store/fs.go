@@ -84,6 +84,40 @@ func (f *FS) Get(key Key) (*scenario.Result, bool, error) {
 	return res, true, nil
 }
 
+// EncodeEnvelope wraps a result in the versioned, checksummed envelope
+// the store persists — and the byte format the distributed tier ships
+// over the wire: a worker answers a cell dispatch with exactly these
+// bytes, and the coordinator accepts them only through DecodeEnvelope,
+// so a byzantine or stale worker is detected by the same integrity
+// check a corrupt disk entry is.
+func EncodeEnvelope(key Key, res *scenario.Result) ([]byte, error) {
+	if res == nil {
+		return nil, fmt.Errorf("store: encode %s: nil result", key)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %s: %w", key, err)
+	}
+	env := envelope{
+		Version: EnvelopeVersion, Hash: key.Hash, Seed: key.Seed,
+		Checksum: checksumOf(raw), Result: raw,
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// DecodeEnvelope validates one envelope's bytes against the key the
+// caller expects — version, identity, and result checksum — and returns
+// the result. It is the read half of EncodeEnvelope, shared by the
+// filesystem store (Get/Verify/GC) and the distributed coordinator
+// (worker-response verification).
+func DecodeEnvelope(key Key, data []byte) (*scenario.Result, error) {
+	return decodeEnvelope(key, data)
+}
+
 // decodeEnvelope validates one entry's bytes against its key and
 // returns the result.
 func decodeEnvelope(key Key, data []byte) (*scenario.Result, error) {
@@ -113,20 +147,9 @@ func decodeEnvelope(key Key, data []byte) (*scenario.Result, error) {
 // complete entries, and concurrent writers of one key (which, by
 // determinism, write identical bytes) cannot interleave.
 func (f *FS) Put(key Key, res *scenario.Result) error {
-	if res == nil {
-		return fmt.Errorf("store: put %s: nil result", key)
-	}
-	raw, err := json.Marshal(res)
+	data, err := EncodeEnvelope(key, res)
 	if err != nil {
-		return fmt.Errorf("store: put %s: %w", key, err)
-	}
-	env := envelope{
-		Version: EnvelopeVersion, Hash: key.Hash, Seed: key.Seed,
-		Checksum: checksumOf(raw), Result: raw,
-	}
-	data, err := json.Marshal(env)
-	if err != nil {
-		return fmt.Errorf("store: put %s: %w", key, err)
+		return err
 	}
 	dest := f.path(key)
 	dir := filepath.Dir(dest)

@@ -46,6 +46,13 @@ type Options struct {
 	Window int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run engine.ScenarioRunFunc
+	// Runner, when set, takes precedence over Run — the hash-aware
+	// compute seam (engine.StreamOptions.Runner). Setting it to a
+	// dist.Pool makes the sweep distributed: cells are dispatched to
+	// remote workers and verified, with byte-identical output. The
+	// store wrapping still applies, so -resume and the shared corpus
+	// work unchanged, and refinement passes inherit the same runner.
+	Runner engine.CellRunner
 	// Store, when set, serves cells whose (hash, seed) result it
 	// already holds (marked Cached) and persists freshly computed ones
 	// — how a killed sweep resumes from its surviving cells. See
@@ -128,6 +135,17 @@ type Result struct {
 	Refinement *RefinementStats `json:"refinement,omitempty"`
 	// Elapsed is the sweep wall-clock time (nondeterministic).
 	Elapsed time.Duration `json:"-"`
+	// RemoteDispatched, RemoteRedispatched, RemoteCorrupt and
+	// RemoteLocal snapshot a delegating Runner's counters (see
+	// engine.RemoteCellStats): cells served by workers, retried
+	// dispatches, rejected (byzantine/stale) worker responses, and
+	// local-fallback cells. Kept out of the JSON envelope — they are
+	// fleet wall-clock metadata, and the aggregate bytes must not
+	// depend on where cells were computed.
+	RemoteDispatched   int `json:"-"`
+	RemoteRedispatched int `json:"-"`
+	RemoteCorrupt      int `json:"-"`
+	RemoteLocal        int `json:"-"`
 }
 
 // Run expands and executes a sweep, streaming cells through the engine
@@ -210,6 +228,7 @@ func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bo
 		Parallel: opts.Parallel,
 		Window:   opts.Window,
 		Run:      opts.Run,
+		Runner:   opts.Runner,
 		Store:    opts.Store,
 		Emit: func(o engine.ScenarioOutcome) error {
 			queueMu.Lock()
@@ -248,6 +267,12 @@ func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bo
 	st.res.Failed += stats.Failed
 	st.res.Cached += stats.Cached
 	st.res.Elapsed += stats.Elapsed
+	// Cumulative over the runner's lifetime: the last pass's snapshot
+	// is the whole run's total, so overwrite rather than accumulate.
+	st.res.RemoteDispatched = stats.RemoteDispatched
+	st.res.RemoteRedispatched = stats.RemoteRedispatched
+	st.res.RemoteCorrupt = stats.RemoteCorrupt
+	st.res.RemoteLocal = stats.RemoteLocal
 	return nil
 }
 
