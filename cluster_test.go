@@ -62,7 +62,14 @@ var bannerRE = regexp.MustCompile(`serving the scenario API on (http://[^ ]+) `)
 // parses the bound address from its startup banner.
 func startWorker(t *testing.T, extra ...string) *workerProc {
 	t.Helper()
-	args := append([]string{"serve", "-worker", "-addr", "127.0.0.1:0"}, extra...)
+	return startServe(t, append([]string{"-worker"}, extra...)...)
+}
+
+// startServe spawns `ichannels serve -addr 127.0.0.1:0` with extra
+// flags and parses the bound address from its startup banner.
+func startServe(t *testing.T, extra ...string) *workerProc {
+	t.Helper()
+	args := append([]string{"serve", "-addr", "127.0.0.1:0"}, extra...)
 	cmd := exec.Command(buildCLI(t), args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
@@ -96,17 +103,20 @@ func startWorker(t *testing.T, extra ...string) *workerProc {
 	}
 }
 
-// distStats is the coordinator's `dist:` stderr summary line.
+// distStats is the coordinator's `dist:` stderr summary line,
+// including the store-tier tallies appended after the semicolon.
 type distStats struct {
 	remote, redispatched, corrupt, localFallback int
+	storeHits, storeMisses, storeErrors          int
 }
 
 func parseDistStats(t *testing.T, stderr string) distStats {
 	t.Helper()
 	for _, ln := range strings.Split(stderr, "\n") {
 		var ds distStats
-		if _, err := fmt.Sscanf(ln, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback",
-			&ds.remote, &ds.redispatched, &ds.corrupt, &ds.localFallback); err == nil {
+		if _, err := fmt.Sscanf(ln, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback; store: %d hits, %d misses, %d errors",
+			&ds.remote, &ds.redispatched, &ds.corrupt, &ds.localFallback,
+			&ds.storeHits, &ds.storeMisses, &ds.storeErrors); err == nil {
 			return ds
 		}
 	}
@@ -167,6 +177,9 @@ func TestClusterConformance(t *testing.T) {
 	if ds.corrupt != 0 {
 		t.Errorf("dist stats %+v: healthy workers must produce zero verification rejections", ds)
 	}
+	if ds.storeHits != 0 || ds.storeMisses != 0 || ds.storeErrors != 0 {
+		t.Errorf("dist stats %+v: a storeless coordinator must report zero store activity", ds)
+	}
 }
 
 // TestClusterWorkerKilled: SIGKILL one of two workers while the
@@ -223,5 +236,39 @@ func TestClusterWorkerKilled(t *testing.T) {
 	cells, _, _ := clusterReference(t)
 	if ds.remote+ds.localFallback != len(cells) {
 		t.Errorf("dist stats %+v: remote + local fallback should cover all %d cells", ds, len(cells))
+	}
+}
+
+// TestClusterSharedStore: one process serves its corpus over HTTP
+// (`serve -store DIR -share`) and a separate coordinator process uses
+// it as its -store by URL — no shared filesystem. The cold run
+// populates the corpus over the wire; the warm run streams every cell
+// cached, byte-identical to the serial reference.
+func TestClusterSharedStore(t *testing.T) {
+	storeDir := t.TempDir()
+	host := startServe(t, "-store", storeDir, "-share")
+
+	args := []string{"sweep", "run", clusterSpec, "-ndjson", "-parallel", "4", "-store", host.url, "-resume"}
+	cold := runCLI(t, args...)
+	assertClusterStream(t, "shared-cold", cold)
+	for i, ln := range cold[:len(cold)-1] {
+		if wl, _ := parseWireLine(t, ln); wl.Cached {
+			t.Errorf("shared-cold cell %d marked cached against an empty corpus", i)
+		}
+	}
+
+	warm := runCLI(t, args...)
+	assertClusterStream(t, "shared-warm", warm)
+	for i, ln := range warm[:len(warm)-1] {
+		if wl, _ := parseWireLine(t, ln); !wl.Cached {
+			t.Errorf("shared-warm cell %d not served from the remote corpus", i)
+		}
+	}
+
+	// The corpus physically lives on the serving process's disk.
+	cells, _, _ := clusterReference(t)
+	ls := runCLI(t, "store", "ls", storeDir)
+	if got := string(ls[len(ls)-1]); !strings.HasPrefix(got, fmt.Sprintf("%d entries", len(cells))) {
+		t.Errorf("host corpus holds %q, want %d entries", got, len(cells))
 	}
 }

@@ -95,15 +95,23 @@ func usage() {
   ichannels sweep expand <sweep.json|-> [-json]
                                       print a grid's expanded cells without running them
   ichannels sweep schema              print the sweep spec JSON schema
-  ichannels store ls|verify|gc <dir> [-json] (gc: [-max-age DUR] [-max-bytes N])
-                                      list, integrity-check, or clean a result store directory
-                                      (gc retention: drop entries older than -max-age, then evict
-                                      oldest until the corpus fits -max-bytes — CI scratch bounds)
-  ichannels serve [-addr HOST:PORT] [-store DIR] [-worker]
+  ichannels store ls|verify|gc|pack <dir> [-json] (gc: [-max-age DUR] [-max-bytes N])
+                                      list, integrity-check, clean, or migrate a result store directory
+                                      (both layouts: per-file entries or packed segments; gc retention:
+                                      drop entries older than -max-age, then evict oldest until the
+                                      corpus fits -max-bytes; pack migrates per-file -> packed segments
+                                      in place, idempotent and crash-resumable)
+  ichannels store bench [-n N] [-reads N] [-layout both|perfile|packed] [-dir DIR] [-json|-bench]
+                                      fill a synthetic corpus and measure write throughput, warm-read
+                                      latency, and gc time per layout (-bench emits go-bench lines)
+  ichannels serve [-addr HOST:PORT] [-store DIR|URL] [-worker] [-share]
                                       HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
-                                      POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema
-                                      (+ legacy /experiments, /run/{name}; -store = durable result tier;
-                                      -worker adds POST /v1/cells, the distributed sweep cell endpoint)
+                                      POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema,
+                                      GET /v1/stats (+ legacy /experiments, /run/{name};
+                                      -store = durable result tier, either layout or a remote URL;
+                                      -worker adds POST /v1/cells, the distributed sweep cell endpoint;
+                                      -share adds GET/PUT /v1/store/{key} + GET /v1/store, so other
+                                      processes can use this corpus via -store http://HOST:PORT)
   ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -252,10 +260,11 @@ func scenarioRun(args []string) error {
 	if *jsonOut && *ndjsonOut {
 		return errors.New("scenario run: give either -json or -ndjson, not both")
 	}
-	st, err := openRunStore("scenario run", *storeDir, *resume)
+	st, closeStore, err := openRunStore("scenario run", *storeDir, *resume)
 	if err != nil {
 		return err
 	}
+	defer closeStore()
 
 	var specs []ichannels.Scenario
 	for _, f := range files {
@@ -380,10 +389,11 @@ func sweepRun(args []string) error {
 	if *refine && sw.Refine == nil {
 		return errors.New("sweep run: -refine given but the spec has no refine block (see 'ichannels sweep schema')")
 	}
-	st, err := openRunStore("sweep run", *storeDir, *resume)
+	st, closeStore, err := openRunStore("sweep run", *storeDir, *resume)
 	if err != nil {
 		return err
 	}
+	defer closeStore()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -422,8 +432,18 @@ func sweepRun(args []string) error {
 	}
 	res.WriteTiming(os.Stderr)
 	if *workers != "" {
-		fmt.Fprintf(os.Stderr, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback\n",
-			res.RemoteDispatched, res.RemoteRedispatched, res.RemoteCorrupt, res.RemoteLocal)
+		// Store tallies ride the dist line: hits are cells the corpus
+		// served, misses the cells that had to compute, errors the
+		// degraded store operations (all wall-clock metadata — the
+		// aggregate bytes never depend on them).
+		storeHits, storeMisses := 0, 0
+		if *storeDir != "" {
+			storeHits = res.Cached
+			storeMisses = len(res.Cells) - res.Cached
+		}
+		fmt.Fprintf(os.Stderr, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback; store: %d hits, %d misses, %d errors\n",
+			res.RemoteDispatched, res.RemoteRedispatched, res.RemoteCorrupt, res.RemoteLocal,
+			storeHits, storeMisses, res.StoreErrors)
 	}
 	if res.Failed > 0 {
 		return fmt.Errorf("sweep run: %d of %d cells failed", res.Failed, len(res.Cells))
@@ -464,34 +484,42 @@ func sweepExpand(args []string) error {
 // openRunStore opens the optional -store/-resume pair the scenario and
 // sweep run commands share: no -store means no persistence, -store
 // alone persists but recomputes everything (re-verifying determinism),
-// -store with -resume serves already-materialized results from disk.
-func openRunStore(cmd, dir string, resume bool) (ichannels.ResultStore, error) {
-	if dir == "" {
+// -store with -resume serves already-materialized results. The spec is
+// a directory (either layout, detected) or an http(s) URL naming a
+// `serve -share` corpus. The returned closer seals packed segments and
+// must run after the sweep drains.
+func openRunStore(cmd, spec string, resume bool) (ichannels.ResultStore, func() error, error) {
+	if spec == "" {
 		if resume {
-			return nil, fmt.Errorf("%s: -resume needs -store DIR (nothing to resume from)", cmd)
+			return nil, nil, fmt.Errorf("%s: -resume needs -store DIR|URL (nothing to resume from)", cmd)
 		}
-		return nil, nil
+		return nil, func() error { return nil }, nil
 	}
-	st, err := ichannels.OpenStore(dir)
+	st, err := ichannels.OpenResultStore(spec)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", cmd, err)
+		return nil, nil, fmt.Errorf("%s: %w", cmd, err)
 	}
+	closeStore := func() error { return ichannels.CloseResultStore(st) }
 	if !resume {
-		return ichannels.WriteOnlyStore(st), nil
+		return ichannels.WriteOnlyStore(st), closeStore, nil
 	}
-	return st, nil
+	return st, closeStore, nil
 }
 
-// storeCmd dispatches the result-store maintenance subcommands.
+// storeCmd dispatches the result-store maintenance subcommands. Every
+// directory subcommand opens through the layout-detecting facade, so
+// per-file and packed corpora are served by identical invocations.
 func storeCmd(args []string) error {
 	if len(args) < 1 {
-		return errors.New("store: missing subcommand (ls, verify, or gc)")
+		return errors.New("store: missing subcommand (ls, verify, gc, pack, or bench)")
 	}
 	sub := args[0]
 	switch sub {
-	case "ls", "verify", "gc":
+	case "bench":
+		return storeBench(args[1:])
+	case "ls", "verify", "gc", "pack":
 	default:
-		return fmt.Errorf("store: unknown subcommand %q (ls, verify, or gc)", sub)
+		return fmt.Errorf("store: unknown subcommand %q (ls, verify, gc, pack, or bench)", sub)
 	}
 	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
@@ -511,15 +539,31 @@ func storeCmd(args []string) error {
 	if _, err := os.Stat(dirs[0]); err != nil {
 		return fmt.Errorf("store %s: %w", sub, err)
 	}
-	st, err := ichannels.OpenStore(dirs[0])
-	if err != nil {
-		return err
-	}
 	emit := func(v any) error {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(v)
 	}
+	if sub == "pack" {
+		rep, err := ichannels.PackStore(dirs[0])
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(rep)
+		}
+		for _, p := range rep.Problems {
+			fmt.Printf("SKIPPED %s\n", p)
+		}
+		fmt.Printf("packed %d entries (%d bytes) into %d segments; %d already packed, %d skipped\n",
+			rep.Packed, rep.Bytes, rep.Segments, rep.AlreadyPacked, rep.Skipped)
+		return nil
+	}
+	st, err := ichannels.OpenStoreDir(dirs[0])
+	if err != nil {
+		return err
+	}
+	defer st.Close()
 	switch sub {
 	case "ls":
 		entries, err := st.List()
@@ -562,8 +606,62 @@ func storeCmd(args []string) error {
 		if *jsonOut {
 			return emit(rep)
 		}
-		fmt.Printf("removed %d corrupt entries, %d stray files, %d expired, %d over budget (%d bytes); %d entries kept\n",
-			rep.RemovedCorrupt, rep.RemovedStray, rep.RemovedExpired, rep.RemovedOverBudget, rep.ReclaimedBytes, rep.Kept)
+		fmt.Printf("removed %d corrupt entries, %d stray files, %d expired, %d over budget (%d bytes); %d entries kept, %d foreign files skipped\n",
+			rep.RemovedCorrupt, rep.RemovedStray, rep.RemovedExpired, rep.RemovedOverBudget, rep.ReclaimedBytes, rep.Kept, rep.Skipped)
+	}
+	return nil
+}
+
+// storeBench measures the layouts against each other on a synthetic
+// corpus: write throughput, warm-read latency, gc time.
+func storeBench(args []string) error {
+	fs := flag.NewFlagSet("store bench", flag.ContinueOnError)
+	n := fs.Int("n", 1000000, "synthetic entries to write per layout")
+	reads := fs.Int("reads", 0, "warm reads to time (0 = one per entry)")
+	layoutName := fs.String("layout", "both", "layouts to measure: both, perfile, or packed")
+	dir := fs.String("dir", "", "scratch directory (default: a temp dir, removed afterwards)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report")
+	benchOut := fs.Bool("bench", false, "emit go-bench lines (for tools/benchjson)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var layouts []ichannels.ResultStoreLayout
+	switch *layoutName {
+	case "both":
+		layouts = []ichannels.ResultStoreLayout{ichannels.StoreLayoutPerFile, ichannels.StoreLayoutPacked}
+	case "perfile":
+		layouts = []ichannels.ResultStoreLayout{ichannels.StoreLayoutPerFile}
+	case "packed":
+		layouts = []ichannels.ResultStoreLayout{ichannels.StoreLayoutPacked}
+	default:
+		return fmt.Errorf("store bench: unknown -layout %q (both, perfile, or packed)", *layoutName)
+	}
+	rep, err := ichannels.RunStoreBench(ichannels.StoreBenchOptions{
+		Entries: *n, Reads: *reads, Dir: *dir, Layouts: layouts,
+	})
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	case *benchOut:
+		for _, lr := range rep.Layouts {
+			fmt.Printf("BenchmarkStoreWrite/%s %d %.0f ns/op %.1f entries_per_sec\n",
+				lr.Layout, lr.Entries, lr.WriteNSPerOp, lr.WriteEntriesPerSec)
+			fmt.Printf("BenchmarkStoreWarmRead/%s %d %.0f ns/op %.0f p95_ns\n",
+				lr.Layout, lr.Reads, lr.ReadNSPerOp, lr.ReadP95NS)
+			fmt.Printf("BenchmarkStoreGC/%s 1 %.0f ns/op\n", lr.Layout, lr.GCNS)
+		}
+	default:
+		fmt.Printf("%-8s %12s %14s %14s %14s %12s\n",
+			"layout", "entries", "write ns/op", "read ns/op", "read p95 ns", "gc ms")
+		for _, lr := range rep.Layouts {
+			fmt.Printf("%-8s %12d %14.0f %14.0f %14.0f %12.1f\n",
+				lr.Layout, lr.Entries, lr.WriteNSPerOp, lr.ReadNSPerOp, lr.ReadP95NS, lr.GCNS/1e6)
+		}
 	}
 	return nil
 }
@@ -572,28 +670,27 @@ func storeCmd(args []string) error {
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
-	storeDir := fs.String("store", "", "durable result store directory (two-tier cache: memory over disk)")
+	storeSpec := fs.String("store", "", "durable result store: a directory (either layout) or a remote http(s) URL")
 	worker := fs.Bool("worker", false, "additionally serve POST /v1/cells, the distributed sweep cell endpoint coordinators dispatch to")
+	share := fs.Bool("share", false, "additionally serve the store's objects over GET/PUT /v1/store/{key} (requires -store)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *share && *storeSpec == "" {
+		return errors.New("serve: -share needs -store DIR|URL (no corpus to share)")
+	}
 	var st ichannels.ResultStore
-	if *storeDir != "" {
-		fsStore, err := ichannels.OpenStore(*storeDir)
+	if *storeSpec != "" {
+		var err error
+		st, err = ichannels.OpenResultStore(*storeSpec)
 		if err != nil {
 			return err
 		}
-		st = fsStore
+		defer ichannels.CloseResultStore(st)
 	}
-	var handler http.Handler
-	switch {
-	case *worker:
-		handler = ichannels.NewWorkerServer(st)
-	case st != nil:
-		handler = ichannels.NewExperimentServerWithStore(st)
-	default:
-		handler = ichannels.NewExperimentServer()
-	}
+	handler := ichannels.NewServer(ichannels.ServerOptions{
+		Store: st, Worker: *worker, ShareStore: *share,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -606,9 +703,12 @@ func serveCmd(args []string) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
-	routes := "GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios, GET /v1/sweeps/schema, POST /v1/sweeps"
+	routes := "GET /v1/experiments, GET /v1/scenarios/schema, POST /v1/scenarios, GET /v1/sweeps/schema, POST /v1/sweeps, GET /v1/stats"
 	if *worker {
 		routes += ", POST /v1/cells"
+	}
+	if *share {
+		routes += ", GET/PUT /v1/store/{key}"
 	}
 	fmt.Fprintf(os.Stderr, "ichannels: serving the scenario API on http://%s (%s)\n", ln.Addr(), routes)
 	select {

@@ -231,13 +231,15 @@ func TestConformanceScenarios(t *testing.T) {
 	}
 }
 
-// newStoreServer opens a result store and serves the v1 API over it.
+// newStoreServer opens a result store in whatever layout the directory
+// holds and serves the v1 API over it.
 func newStoreServer(t *testing.T, dir string) http.Handler {
 	t.Helper()
-	st, err := ichannels.OpenStore(dir)
+	st, err := ichannels.OpenStoreDir(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { st.Close() })
 	return ichannels.NewExperimentServerWithStore(st)
 }
 

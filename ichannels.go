@@ -437,6 +437,97 @@ func OpenStore(dir string) (*FSResultStore, error) { return store.Open(dir) }
 // the corpus.
 func WriteOnlyStore(st ResultStore) ResultStore { return store.WriteOnly(st) }
 
+// ---- Store v2: packed segments, migration, backends ----
+
+// ResultStoreLayout names an on-disk corpus layout: per-file (one
+// envelope per file) or packed (append-only segments with index
+// sidecars). Both serve the identical ResultStore surface; the layout
+// only changes the storage economics.
+type ResultStoreLayout = store.Layout
+
+// The two directory layouts.
+const (
+	StoreLayoutPerFile = store.LayoutPerFile
+	StoreLayoutPacked  = store.LayoutPacked
+)
+
+// DirResultStore is the full directory-store surface both layouts
+// implement: the ResultStore read/write pair plus maintenance (List,
+// Verify, GC), the raw-object Backend verbs, and lifecycle (Close).
+type DirResultStore = store.DirStore
+
+// PackedResultStore is the packed-segment DirResultStore: checksummed
+// envelopes packed into append-only segment files with per-segment
+// index sidecars, crash-safe rebuild, and live-entry compaction.
+type PackedResultStore = store.Packed
+
+// RemoteResultStore is a ResultStore served by another process over
+// HTTP (`ichannels serve -store DIR -share`): every read is re-verified
+// locally, so a misbehaving server degrades to recomputes, never to
+// wrong bytes.
+type RemoteResultStore = store.Remote
+
+// ResultStoreBackend is the raw-object seam under every store: three
+// verbs moving opaque envelope bytes by key. Implement it to plug a new
+// transport in; wrap it with NewBackendResultStore to get a verifying
+// ResultStore back.
+type ResultStoreBackend = store.Backend
+
+// StorePackReport and the bench types are the machine-readable results
+// of `ichannels store pack` and `ichannels store bench`.
+type (
+	StorePackReport        = store.PackReport
+	StoreBenchOptions      = store.BenchOptions
+	StoreBenchReport       = store.BenchReport
+	StoreBenchLayoutReport = store.BenchLayoutReport
+)
+
+// DetectStoreLayout reports which layout a store directory holds.
+func DetectStoreLayout(dir string) ResultStoreLayout { return store.DetectLayout(dir) }
+
+// OpenStoreDir opens a store directory in whichever layout it already
+// holds — the opener every maintenance surface uses so `store
+// ls|verify|gc` work identically on both layouts.
+func OpenStoreDir(dir string) (DirResultStore, error) { return store.OpenDir(dir) }
+
+// OpenResultStore opens a store spec: an http(s):// URL becomes a
+// RemoteResultStore talking to a `serve -share` corpus, anything else a
+// directory in its detected layout. The opener behind every `-store`
+// flag.
+func OpenResultStore(spec string) (ResultStore, error) { return store.OpenAuto(spec) }
+
+// IsRemoteStoreSpec reports whether a -store spec names a remote corpus.
+func IsRemoteStoreSpec(spec string) bool { return store.IsRemoteSpec(spec) }
+
+// CloseResultStore releases st's resources (segment handles, pending
+// compaction) when it has any; stores without lifecycle are a no-op.
+func CloseResultStore(st ResultStore) error { return store.CloseStore(st) }
+
+// OpenPackedStore creates (if needed) and opens a packed-layout store.
+func OpenPackedStore(dir string) (*PackedResultStore, error) { return store.OpenPacked(dir) }
+
+// OpenRemoteStore opens the corpus a `serve -store DIR -share` process
+// exposes at baseURL.
+func OpenRemoteStore(baseURL string) (*RemoteResultStore, error) {
+	return store.OpenRemote(baseURL, nil)
+}
+
+// NewBackendResultStore wraps a raw-object backend in the envelope
+// verification that makes it a trustworthy ResultStore.
+func NewBackendResultStore(b ResultStoreBackend) ResultStore { return store.NewBackendStore(b) }
+
+// PackStore migrates a per-file corpus into packed segments in place.
+// Idempotent and crash-resumable: each entry is removed only after its
+// bytes land in a segment, and a re-run finishes whatever a crash left.
+func PackStore(dir string) (*StorePackReport, error) { return store.Pack(dir) }
+
+// RunStoreBench fills a synthetic corpus and measures write throughput,
+// warm-read latency, and gc time — per layout, so the per-file/packed
+// trade-off is a measurement, not folklore.
+func RunStoreBench(opts StoreBenchOptions) (*StoreBenchReport, error) {
+	return store.RunBench(opts)
+}
+
 // ---- Streaming execution ----
 
 // ScenarioStreamOptions configures a streaming scenario run: scenarios
@@ -582,6 +673,17 @@ var (
 func NewWorkerServer(st ResultStore) http.Handler {
 	return serve.New(serve.Options{Store: st, Worker: true}).Handler()
 }
+
+// ServerOptions configures NewServer: the full serve surface (store
+// tier, worker endpoint, store sharing, cache and concurrency bounds)
+// in one struct. The named constructors above remain as the common
+// presets.
+type ServerOptions = serve.Options
+
+// NewServer builds the scenario-API handler from explicit options —
+// what `ichannels serve` uses once flags like -worker and -share start
+// composing.
+func NewServer(opts ServerOptions) http.Handler { return serve.New(opts).Handler() }
 
 // ---- Adaptive sweep refinement ----
 

@@ -91,6 +91,9 @@ const (
 	CodeUnsupportedMedia  = "unsupported_media_type"
 	CodeTooLarge          = "payload_too_large"
 	CodeRunFailed         = "run_failed"
+	CodeNotFound          = "not_found"
+	CodeStoreError        = "store_error"
+	CodeUnsupported       = "unsupported"
 )
 
 // Options configures a Server.
@@ -123,24 +126,32 @@ type Options struct {
 	// sweep cells here and verifies the checksummed envelope responses.
 	// Off by default — a plain API server is not a compute worker.
 	Worker bool
+	// ShareStore additionally exposes the store's object routes
+	// (GET/PUT /v1/store/{key}, GET /v1/store — see store.HTTPBackend):
+	// remote processes opening `-store http://this-host` read and write
+	// this server's corpus without a shared filesystem. Requires Store;
+	// off by default — sharing a corpus is an operator decision.
+	ShareStore bool
 }
 
 // Server runs scenarios on demand and caches their results.
 type Server struct {
-	run      engine.RunFunc  // legacy experiment executor
-	runner   scenario.Runner // scenario executor (ExpRun wired to run)
-	maxCache int
-	sem      chan struct{} // nil = unbounded; else bounds running simulations
-	store    store.Store   // nil = memory-only; else the durable tier
-	worker   bool          // serve the /v1/cells dispatch endpoint
+	run        engine.RunFunc  // legacy experiment executor
+	runner     scenario.Runner // scenario executor (ExpRun wired to run)
+	maxCache   int
+	sem        chan struct{} // nil = unbounded; else bounds running simulations
+	store      store.Store   // nil = memory-only; else the durable tier
+	worker     bool          // serve the /v1/cells dispatch endpoint
+	shareStore bool          // serve the /v1/store object routes
 
-	mu         sync.Mutex
-	cache      map[cacheKey]*cacheEntry
-	order      []cacheKey // recency order, oldest first, for LRU eviction
-	hits       int64
-	misses     int64
-	storeHits  int64
-	storeFails int64
+	mu          sync.Mutex
+	cache       map[cacheKey]*cacheEntry
+	order       []cacheKey // recency order, oldest first, for LRU eviction
+	hits        int64
+	misses      int64
+	storeHits   int64
+	storeMisses int64
+	storeErrors int64
 }
 
 // cacheKey identifies one deterministic result: the scenario's content
@@ -206,13 +217,14 @@ func New(opts Options) *Server {
 		sem = make(chan struct{}, c)
 	}
 	return &Server{
-		run:      run,
-		runner:   scenario.Runner{ExpRun: run},
-		maxCache: maxCache,
-		sem:      sem,
-		store:    opts.Store,
-		worker:   opts.Worker,
-		cache:    map[cacheKey]*cacheEntry{},
+		run:        run,
+		runner:     scenario.Runner{ExpRun: run},
+		maxCache:   maxCache,
+		sem:        sem,
+		store:      opts.Store,
+		worker:     opts.Worker,
+		shareStore: opts.ShareStore && opts.Store != nil,
+		cache:      map[cacheKey]*cacheEntry{},
 	}
 }
 
@@ -226,8 +238,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/scenarios", s.v1Scenarios)
 	mux.HandleFunc("/v1/sweeps/schema", s.v1SweepSchema)
 	mux.HandleFunc("/v1/sweeps", s.v1Sweeps)
+	mux.HandleFunc("/v1/stats", s.v1Stats)
 	if s.worker {
 		mux.HandleFunc(dist.DispatchPath, s.v1Cells)
+	}
+	if s.shareStore {
+		mux.HandleFunc(store.StorePathPrefix, s.v1StoreIndex)
+		mux.HandleFunc(store.StorePathPrefix+"/", s.v1StoreEntry)
 	}
 	// Legacy shims (deprecated; see the package comment).
 	mux.HandleFunc("GET /experiments", s.handleList)
@@ -317,13 +334,16 @@ func (s *Server) compute(key cacheKey, ent *cacheEntry, fn func() (*scenario.Res
 		if useStore {
 			t0 := time.Now()
 			res, ok, err := s.store.Get(store.Key(key))
-			if err != nil {
-				s.countStore(false) // unreadable entry: recompute
-			} else if ok {
+			switch {
+			case err != nil:
+				s.countStore(storeTallyError) // unreadable entry: recompute
+			case ok:
 				ent.result, ent.fromStore = res, true
 				ent.elapsed = time.Since(t0)
-				s.countStore(true)
+				s.countStore(storeTallyHit)
 				return
+			default:
+				s.countStore(storeTallyMiss)
 			}
 		}
 		if s.sem != nil {
@@ -337,30 +357,54 @@ func (s *Server) compute(key cacheKey, ent *cacheEntry, fn func() (*scenario.Res
 		ent.elapsed = time.Since(t0)
 		if useStore && ent.err == nil {
 			if err := s.store.Put(store.Key(key), ent.result); err != nil {
-				s.countStore(false)
+				s.countStore(storeTallyError)
 			}
 		}
 	})
 }
 
-// countStore tallies durable-tier activity for StoreStats.
-func (s *Server) countStore(hit bool) {
+// storeTally classifies one durable-tier event for the counters.
+type storeTally int
+
+const (
+	storeTallyHit storeTally = iota
+	storeTallyMiss
+	storeTallyError
+)
+
+// countStore tallies durable-tier activity for StoreStats and the
+// /v1/stats endpoint. Both the compute read-through path and the shared
+// /v1/store object routes feed it, so the counters describe corpus
+// effectiveness across every consumer of this server's store.
+func (s *Server) countStore(t storeTally) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if hit {
+	switch t {
+	case storeTallyHit:
 		s.storeHits++
-	} else {
-		s.storeFails++
+	case storeTallyMiss:
+		s.storeMisses++
+	default:
+		s.storeErrors++
 	}
 }
 
 // StoreStats reports durable-tier hits and degraded operations
 // (unreadable entries and failed writes) so far. Zeroes when no store
-// is configured.
+// is configured. See StoreCounters for the full hit/miss/error split.
 func (s *Server) StoreStats() (hits, failures int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.storeHits, s.storeFails
+	return s.storeHits, s.storeErrors
+}
+
+// StoreCounters reports the durable tier's full tally: hits (reads
+// served from the corpus), misses (clean absences that led to a
+// compute), and errors (unreadable entries and failed writes).
+func (s *Server) StoreCounters() (hits, misses, errors int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storeHits, s.storeMisses, s.storeErrors
 }
 
 // ---- wire envelopes ----

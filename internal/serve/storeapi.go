@@ -1,0 +1,151 @@
+package serve
+
+// The store-sharing routes: when a server is started with both a store
+// and ShareStore, its corpus becomes the object store for a fleet —
+// remote processes open `-store http://host:port` (store.OpenRemote)
+// and read/write checksummed envelopes over GET/PUT /v1/store/{key}
+// without a shared filesystem. The wire carries exactly the bytes a
+// directory layout would hold, so the envelope verification on both
+// ends is unchanged; this server never has to trust its clients (a
+// corrupt PUT is rejected before it touches disk) and clients never
+// have to trust this server (store.Remote re-verifies every GET).
+//
+// /v1/stats is served unconditionally: operators watching a fleet need
+// the cache and store tallies whether or not the corpus is shared.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+
+	"ichannels/internal/store"
+)
+
+// statsResponse is the GET /v1/stats body.
+type statsResponse struct {
+	Cache cacheStats  `json:"cache"`
+	Store *storeStats `json:"store,omitempty"`
+}
+
+type cacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+type storeStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Errors int64 `json:"errors"`
+	Shared bool  `json:"shared"`
+}
+
+// v1Stats handles GET /v1/stats.
+func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodGet) {
+		return
+	}
+	resp := statsResponse{}
+	resp.Cache.Hits, resp.Cache.Misses = s.CacheStats()
+	if s.store != nil {
+		st := &storeStats{Shared: s.shareStore}
+		st.Hits, st.Misses, st.Errors = s.StoreCounters()
+		resp.Store = st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// backend returns the store's raw-object interface. Every directory
+// layout and the remote client implement it; a store that doesn't
+// (possible through the facade's custom-Store seam) can still serve
+// scenarios but cannot share objects.
+func (s *Server) backend() (store.Backend, bool) {
+	b, ok := s.store.(store.Backend)
+	return b, ok
+}
+
+// v1StoreIndex handles GET /v1/store: the corpus listing, which remote
+// `store ls` and resume planning consume.
+func (s *Server) v1StoreIndex(w http.ResponseWriter, r *http.Request) {
+	if !methodOnly(w, r, http.MethodGet) {
+		return
+	}
+	b, ok := s.backend()
+	if !ok {
+		writeError(w, http.StatusNotImplemented, CodeUnsupported,
+			"this server's store does not expose raw objects")
+		return
+	}
+	ls, err := b.ListObjects()
+	if err != nil {
+		s.countStore(storeTallyError)
+		writeError(w, http.StatusInternalServerError, CodeStoreError, "list store: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ls)
+}
+
+// v1StoreEntry handles GET and PUT /v1/store/{key}.
+func (s *Server) v1StoreEntry(w http.ResponseWriter, r *http.Request) {
+	b, ok := s.backend()
+	if !ok {
+		writeError(w, http.StatusNotImplemented, CodeUnsupported,
+			"this server's store does not expose raw objects")
+		return
+	}
+	key, ok := store.ParseKeyString(r.URL.Path[len(store.StorePathPrefix)+1:])
+	if !ok {
+		writeError(w, http.StatusBadRequest, CodeBadRequest,
+			"store keys look like <hash>-<seed>")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		data, ok, err := b.GetObject(key)
+		if err != nil {
+			s.countStore(storeTallyError)
+			writeError(w, http.StatusInternalServerError, CodeStoreError,
+				"read %s: %v", key, err)
+			return
+		}
+		if !ok {
+			s.countStore(storeTallyMiss)
+			writeError(w, http.StatusNotFound, CodeNotFound, "no result for %s", key)
+			return
+		}
+		s.countStore(storeTallyHit)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	case http.MethodPut:
+		if !requireJSON(w, r) {
+			return
+		}
+		data, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "read body: %v", err)
+			return
+		}
+		if len(data) > maxBodyBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"envelope exceeds %d bytes", maxBodyBytes)
+			return
+		}
+		// Verify before storing: the corpus only ever holds envelopes
+		// that decode, identify their key, and pass their checksum.
+		if _, err := store.DecodeEnvelope(key, data); err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest,
+				"rejected envelope for %s: %v", key, err)
+			return
+		}
+		if err := b.PutObject(key, data); err != nil {
+			s.countStore(storeTallyError)
+			writeError(w, http.StatusInternalServerError, CodeStoreError,
+				"write %s: %v", key, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		w.Header().Set("Allow", fmt.Sprintf("%s, %s", http.MethodGet, http.MethodPut))
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+			"use GET or PUT")
+	}
+}

@@ -1,0 +1,307 @@
+package serve
+
+// The shared-store routes and the stats endpoint: a server started
+// with ShareStore is a usable object store for store.OpenRemote
+// clients, corrupt uploads are rejected at the door, and the counters
+// behind /v1/stats tell the truth about corpus traffic.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ichannels/internal/scenario"
+	"ichannels/internal/store"
+)
+
+func getBody(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func storeTestResult(seed int64) *scenario.Result {
+	return &scenario.Result{
+		Role: scenario.RoleChannel, Processor: "Cannon Lake", Kind: scenario.KindCores,
+		Hash: "0123456789abcdef", Seed: seed,
+		Bits: 4, SentBits: []int{1, 0, 1, 1}, DecodedBits: []int{1, 0, 1, 1},
+		ThroughputBPS: 3000.25, BER: 0.125,
+	}
+}
+
+// TestV1StoreSharing: a ShareStore server serves its corpus to a
+// store.OpenRemote client — put, get, miss, and list all round-trip
+// over the wire, for both directory layouts underneath.
+func TestV1StoreSharing(t *testing.T) {
+	for _, layout := range []store.Layout{store.LayoutPerFile, store.LayoutPacked} {
+		t.Run(string(layout), func(t *testing.T) {
+			dir := t.TempDir()
+			var st store.Store
+			var err error
+			if layout == store.LayoutPacked {
+				st, err = store.OpenPacked(dir)
+			} else {
+				st, err = store.Open(dir)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer store.CloseStore(st)
+
+			srv := New(Options{Store: st, ShareStore: true})
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			remote, err := store.OpenRemote(ts.URL, ts.Client())
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := store.Key{Hash: "0123456789abcdef", Seed: 7}
+			if _, ok, err := remote.Get(key); ok || err != nil {
+				t.Fatalf("miss through remote: ok=%v err=%v", ok, err)
+			}
+			if err := remote.Put(key, storeTestResult(7)); err != nil {
+				t.Fatal(err)
+			}
+			res, ok, err := remote.Get(key)
+			if !ok || err != nil {
+				t.Fatalf("get through remote: ok=%v err=%v", ok, err)
+			}
+			if res.Seed != 7 || res.BER != 0.125 {
+				t.Fatalf("wrong result over the wire: %+v", res)
+			}
+			ls, err := remote.List()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ls) != 1 || ls[0].Key != key {
+				t.Fatalf("remote list %+v, want exactly %s", ls, key)
+			}
+			// The server tallied the traffic: one miss, one hit.
+			hits, misses, errors := srv.StoreCounters()
+			if hits != 1 || misses != 1 || errors != 0 {
+				t.Fatalf("store counters %d/%d/%d, want 1 hit, 1 miss, 0 errors", hits, misses, errors)
+			}
+		})
+	}
+}
+
+// TestV1StoreRejectsBadUploads: the server verifies envelopes before
+// storing them — garbage, checksum damage, and misidentified uploads
+// all bounce with 400 and leave the corpus empty.
+func TestV1StoreRejectsBadUploads(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Store: st, ShareStore: true})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	key := store.Key{Hash: "0123456789abcdef", Seed: 1}
+	good, err := store.EncodeEnvelope(key, storeTestResult(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x01
+
+	put := func(path, body, contentType string) int {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", contentType)
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	keyPath := store.StorePathPrefix + "/" + key.String()
+	if code := put(keyPath, "not json", "application/json"); code != http.StatusBadRequest {
+		t.Errorf("garbage upload: status %d, want 400", code)
+	}
+	if code := put(keyPath, string(flipped), "application/json"); code != http.StatusBadRequest {
+		t.Errorf("damaged envelope: status %d, want 400", code)
+	}
+	// An intact envelope uploaded under someone else's key is caught by
+	// the identity check.
+	other := store.StorePathPrefix + "/ffff000011112222-9"
+	if code := put(other, string(good), "application/json"); code != http.StatusBadRequest {
+		t.Errorf("misidentified envelope: status %d, want 400", code)
+	}
+	if code := put(keyPath, string(good), "text/plain"); code != http.StatusUnsupportedMediaType {
+		t.Errorf("wrong media type: status %d, want 415", code)
+	}
+	if code := put(store.StorePathPrefix+"/notakey", "{}", "application/json"); code != http.StatusBadRequest {
+		t.Errorf("malformed key: status %d, want 400", code)
+	}
+	ls, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 0 {
+		t.Fatalf("a rejected upload reached the corpus: %+v", ls)
+	}
+	// The valid one lands.
+	if code := put(keyPath, string(good), "application/json"); code != http.StatusNoContent {
+		t.Errorf("valid upload: status %d, want 204", code)
+	}
+}
+
+// TestV1StoreNotSharedByDefault: without ShareStore the object routes
+// do not exist, even with a store configured — sharing is opt-in.
+func TestV1StoreNotSharedByDefault(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(Options{Store: st}).Handler())
+	defer ts.Close()
+	if code, _ := getBody(t, ts, store.StorePathPrefix); code != http.StatusNotFound {
+		t.Errorf("index route exists without -share: status %d", code)
+	}
+	if code, _ := getBody(t, ts, store.StorePathPrefix+"/abcd-1"); code != http.StatusNotFound {
+		t.Errorf("entry route exists without -share: status %d", code)
+	}
+}
+
+// TestV1Stats: the stats endpoint reports cache tallies always, store
+// tallies only when a store is configured, and flags sharing.
+func TestV1Stats(t *testing.T) {
+	type stats struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+		Store *struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+			Errors int64 `json:"errors"`
+			Shared bool  `json:"shared"`
+		} `json:"store"`
+	}
+
+	// Memory-only server: no store block.
+	ts := httptest.NewServer(New(Options{}).Handler())
+	code, body := getBody(t, ts, "/v1/stats")
+	ts.Close()
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", code, body)
+	}
+	var bare stats
+	if err := json.Unmarshal(body, &bare); err != nil {
+		t.Fatal(err)
+	}
+	if bare.Store != nil {
+		t.Fatalf("memory-only server reports store stats: %+v", bare.Store)
+	}
+
+	// Stored server: one compute (store miss) + one repeat (memory hit),
+	// then a restart serving from the store (store hit).
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := `{"role":"experiment","experiment":"fig6a","seed":5}`
+	ts1 := httptest.NewServer(New(Options{Store: st, ShareStore: true}).Handler())
+	postJSON(t, ts1, "/v1/scenarios", "application/json", spec)
+	postJSON(t, ts1, "/v1/scenarios", "application/json", spec)
+	code, body = getBody(t, ts1, "/v1/stats")
+	ts1.Close()
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", code, body)
+	}
+	var warm stats
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Cache.Hits != 1 || warm.Cache.Misses != 1 {
+		t.Errorf("cache stats %+v, want 1 hit / 1 miss", warm.Cache)
+	}
+	if warm.Store == nil || warm.Store.Hits != 0 || warm.Store.Misses != 1 || warm.Store.Errors != 0 {
+		t.Errorf("store stats %+v, want 0 hits / 1 miss / 0 errors", warm.Store)
+	}
+	if !warm.Store.Shared {
+		t.Error("shared flag not set")
+	}
+
+	ts2 := httptest.NewServer(New(Options{Store: st}).Handler())
+	defer ts2.Close()
+	postJSON(t, ts2, "/v1/scenarios", "application/json", spec)
+	code, body = getBody(t, ts2, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: status %d: %s", code, body)
+	}
+	var restarted stats
+	if err := json.Unmarshal(body, &restarted); err != nil {
+		t.Fatal(err)
+	}
+	if restarted.Store == nil || restarted.Store.Hits != 1 || restarted.Store.Misses != 0 {
+		t.Errorf("restarted store stats %+v, want 1 hit / 0 misses", restarted.Store)
+	}
+	if restarted.Store.Shared {
+		t.Error("shared flag set without ShareStore")
+	}
+}
+
+// TestServeOverPackedStore: the serve layer on top of a packed corpus
+// behaves exactly as over per-file — warm restarts serve from segments.
+func TestServeOverPackedStore(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.OpenPacked(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := `{"role":"experiment","experiment":"fig6a","seed":5}`
+	ts1 := httptest.NewServer(New(Options{Store: st}).Handler())
+	code, body := postJSON(t, ts1, "/v1/scenarios", "application/json", spec)
+	ts1.Close()
+	if code != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", code, body)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.OpenPacked(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	srv := New(Options{Store: st2})
+	ts2 := httptest.NewServer(srv.Handler())
+	defer ts2.Close()
+	code, body = postJSON(t, ts2, "/v1/scenarios", "application/json", spec)
+	if code != http.StatusOK {
+		t.Fatalf("warm: status %d: %s", code, body)
+	}
+	var resp struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Error("packed-store restart did not serve from segments")
+	}
+	if hits, fails := srv.StoreStats(); hits != 1 || fails != 0 {
+		t.Errorf("store stats %d/%d, want 1 hit, 0 failures", hits, fails)
+	}
+}

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"ichannels/internal/scenario"
+)
+
+// Backend is the pluggable object seam under the Store contract: raw
+// envelope bytes addressed by content key. Both on-disk layouts expose
+// it (FS stores one object per file, Packed one record per object), and
+// the HTTP remote backend serves it over /v1/store/{key} — so N workers
+// can share one corpus without a shared filesystem.
+//
+// A Backend moves bytes; it does not vouch for them. BackendStore
+// layers the envelope verification every read path in this repo goes
+// through, so a corrupt or byzantine backend is detected exactly the
+// way a corrupt disk entry is.
+type Backend interface {
+	// GetObject returns the stored envelope bytes for key, ok=false on
+	// a clean miss.
+	GetObject(key Key) ([]byte, bool, error)
+	// PutObject stores envelope bytes under key. Callers must only
+	// store canonical EncodeEnvelope output; implementations may assume
+	// (or verify) that.
+	PutObject(key Key, data []byte) error
+	// ListObjects enumerates the stored entries sorted by key.
+	ListObjects() ([]Entry, error)
+}
+
+// BackendStore adapts a Backend to the Store interface, adding the
+// envelope round-trip: Get decodes and verifies the fetched bytes
+// against the key, Put encodes the canonical envelope. It is how remote
+// backends join the engine/sweep/serve read-through paths.
+type BackendStore struct {
+	b Backend
+}
+
+// NewBackendStore wraps a Backend as a verifying Store.
+func NewBackendStore(b Backend) *BackendStore {
+	return &BackendStore{b: b}
+}
+
+// Backend returns the wrapped backend.
+func (s *BackendStore) Backend() Backend { return s.b }
+
+// Get implements Store: fetch and verify.
+func (s *BackendStore) Get(key Key) (*scenario.Result, bool, error) {
+	data, ok, err := s.b.GetObject(key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	res, err := decodeEnvelope(key, data)
+	if err != nil {
+		return nil, false, err
+	}
+	return res, true, nil
+}
+
+// Put implements Store: encode canonically and store.
+func (s *BackendStore) Put(key Key, res *scenario.Result) error {
+	data, err := EncodeEnvelope(key, res)
+	if err != nil {
+		return err
+	}
+	return s.b.PutObject(key, data)
+}
+
+// List enumerates the backend's entries.
+func (s *BackendStore) List() ([]Entry, error) { return s.b.ListObjects() }
+
+// GetObject, PutObject and ListObjects forward the raw verbs, so a
+// BackendStore is itself a Backend: a server whose -store is a remote
+// corpus can still share it onward (proxy chains compose).
+func (s *BackendStore) GetObject(key Key) ([]byte, bool, error) { return s.b.GetObject(key) }
+
+// PutObject forwards to the wrapped backend.
+func (s *BackendStore) PutObject(key Key, data []byte) error { return s.b.PutObject(key, data) }
+
+// ListObjects forwards to the wrapped backend.
+func (s *BackendStore) ListObjects() ([]Entry, error) { return s.b.ListObjects() }

@@ -151,6 +151,34 @@ func (f *FS) Put(key Key, res *scenario.Result) error {
 	if err != nil {
 		return err
 	}
+	return f.PutObject(key, data)
+}
+
+// GetObject implements Backend: the entry's raw envelope bytes, no
+// verification (BackendStore layers that).
+func (f *FS) GetObject(key Key) ([]byte, bool, error) {
+	data, err := os.ReadFile(f.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// ListObjects implements Backend.
+func (f *FS) ListObjects() ([]Entry, error) { return f.List() }
+
+// Layout identifies the on-disk format for DirStore consumers.
+func (f *FS) Layout() Layout { return LayoutPerFile }
+
+// Close implements DirStore; the per-file layout holds no open state.
+func (f *FS) Close() error { return nil }
+
+// PutObject implements Backend: write pre-encoded envelope bytes
+// atomically under key's entry path.
+func (f *FS) PutObject(key Key, data []byte) error {
 	dest := f.path(key)
 	dir := filepath.Dir(dest)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -318,6 +346,11 @@ type GCReport struct {
 	// GCOptions.MaxBytes.
 	RemovedExpired    int `json:"removed_expired,omitempty"`
 	RemovedOverBudget int `json:"removed_over_budget,omitempty"`
+	// Skipped counts files gc recognized as not belonging to the store
+	// (neither entries nor temporaries) and deliberately left alone —
+	// reported so an operator pointing gc at the wrong directory sees
+	// the mismatch instead of silence.
+	Skipped int `json:"skipped,omitempty"`
 	// Kept counts the intact entries that survive.
 	Kept int `json:"kept"`
 }
@@ -375,6 +408,10 @@ func (f *FS) GCWith(opts GCOptions) (*GCReport, error) {
 				removeTmp = append(removeTmp, path)
 				reclaim += size
 				rep.RemovedStray++
+			} else {
+				// Not an entry, not a temporary: a foreign file. Report
+				// it, never touch it.
+				rep.Skipped++
 			}
 			return nil
 		}

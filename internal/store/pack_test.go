@@ -1,0 +1,199 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPackMigratesCorpus: every per-file entry lands in segments with
+// identical payload bytes, the per-file originals disappear, and the
+// directory now detects as packed.
+func TestPackMigratesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []Key
+	for i := 1; i <= 6; i++ {
+		key := Key{Hash: "0123456789abcdef", Seed: int64(i)}
+		if err := fs.Put(key, testResult(key.Seed)); err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	// Snapshot the canonical bytes before migrating.
+	want := map[Key][]byte{}
+	for _, key := range keys {
+		data, _, err := fs.GetObject(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[key] = data
+	}
+
+	rep, err := Pack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packed != 6 || rep.Skipped != 0 || rep.AlreadyPacked != 0 {
+		t.Fatalf("pack report %+v: want 6 packed", rep)
+	}
+	if rep.Segments < 1 {
+		t.Fatalf("pack report %+v: no segments", rep)
+	}
+	if DetectLayout(dir) != LayoutPacked {
+		t.Fatal("packed directory not detected as packed")
+	}
+	// Per-file originals are gone (shard dirs removed too).
+	for _, key := range keys {
+		if _, err := os.Stat(fs.path(key)); !os.IsNotExist(err) {
+			t.Fatalf("per-file entry %s survived the migration (err=%v)", key, err)
+		}
+	}
+	// The packed corpus serves byte-identical envelopes.
+	p, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for _, key := range keys {
+		data, ok, err := p.GetObject(key)
+		if !ok || err != nil {
+			t.Fatalf("migrated entry %s: ok=%v err=%v", key, ok, err)
+		}
+		if string(data) != string(want[key]) {
+			t.Fatalf("entry %s bytes changed across migration", key)
+		}
+	}
+}
+
+// TestPackIsIdempotent: re-running pack on an already-packed corpus
+// (plus one freshly recreated per-file duplicate) finishes the job
+// without duplicating records.
+func TestPackIsIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Hash: "0123456789abcdef", Seed: 1}
+	if err := fs.Put(key, testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Pack(dir); err != nil {
+		t.Fatal(err)
+	}
+	// A pure re-run is a no-op.
+	rep, err := Pack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packed != 0 || rep.AlreadyPacked != 0 {
+		t.Fatalf("re-pack report %+v: want a no-op", rep)
+	}
+	// Recreate the per-file duplicate (the crash-mid-pack shape: bytes
+	// already in a segment, file not yet removed) and re-run.
+	if err := fs.Put(key, testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = Pack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AlreadyPacked != 1 || rep.Packed != 0 {
+		t.Fatalf("re-pack report %+v: want 1 already-packed", rep)
+	}
+	if _, err := os.Stat(fs.path(key)); !os.IsNotExist(err) {
+		t.Fatal("duplicate per-file entry survived")
+	}
+	p, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ls, err := p.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls) != 1 {
+		t.Fatalf("%d entries after double pack, want 1", len(ls))
+	}
+}
+
+// TestPackLeavesCorruptEntriesInPlace: a per-file entry that fails
+// verification is reported and left for gc, never migrated.
+func TestPackLeavesCorruptEntriesInPlace(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Key{Hash: "0123456789abcdef", Seed: 1}
+	bad := Key{Hash: "0123456789abcdef", Seed: 2}
+	for _, key := range []Key{good, bad} {
+		if err := fs.Put(key, testResult(key.Seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	corrupt(t, fs, bad)
+
+	rep, err := Pack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packed != 1 || rep.Skipped != 1 || len(rep.Problems) != 1 {
+		t.Fatalf("pack report %+v: want 1 packed, 1 skipped with its problem", rep)
+	}
+	if _, err := os.Stat(fs.path(bad)); err != nil {
+		t.Fatalf("corrupt entry removed instead of left in place: %v", err)
+	}
+	p, err := OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, ok, err := p.Get(good); !ok || err != nil {
+		t.Fatalf("good entry after pack: ok=%v err=%v", ok, err)
+	}
+	if _, ok, _ := p.Get(bad); ok {
+		t.Fatal("corrupt entry migrated")
+	}
+	// gc on the packed layout reports the leftover as skipped-foreign
+	// only once its shard path is foreign — it still parses as an entry
+	// name, so the packed gc counts the whole file foreign.
+	gcRep, err := p.GC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcRep.Skipped != 1 {
+		t.Fatalf("gc report %+v: want the un-migrated file skipped", gcRep)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SegmentsDirName)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreBenchSmoke: the bench harness end to end at toy scale, both
+// layouts, sane numbers.
+func TestStoreBenchSmoke(t *testing.T) {
+	rep, err := RunBench(BenchOptions{Entries: 64, Reads: 32, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Layouts) != 2 {
+		t.Fatalf("bench covered %d layouts, want 2", len(rep.Layouts))
+	}
+	for _, lr := range rep.Layouts {
+		if lr.Entries != 64 || lr.Reads != 32 {
+			t.Fatalf("layout %s sized wrong: %+v", lr.Layout, lr)
+		}
+		if lr.WriteNSPerOp <= 0 || lr.ReadNSPerOp <= 0 || lr.GCNS <= 0 || lr.Bytes <= 0 {
+			t.Fatalf("layout %s has non-positive measurements: %+v", lr.Layout, lr)
+		}
+		if lr.ReadP95NS < lr.ReadNSPerOp/10 {
+			t.Fatalf("layout %s p95 %.0f implausibly below mean %.0f", lr.Layout, lr.ReadP95NS, lr.ReadNSPerOp)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// StorePathPrefix is the route prefix a serve process sharing its
+// corpus mounts: GET/PUT {prefix}/{key} for one envelope, GET {prefix}
+// for the entry listing. The payloads are exactly the EncodeEnvelope
+// bytes every other surface exchanges, so the wire adds framing, never
+// a second encoding.
+const StorePathPrefix = "/v1/store"
+
+// defaultRemoteTimeout bounds one object round-trip against a remote
+// store; a hung coordinator-side fetch must degrade to a local
+// recompute, not stall the sweep.
+const defaultRemoteTimeout = 30 * time.Second
+
+// HTTPBackend is the remote half of the backend seam: an object client
+// for the /v1/store routes of a serve process (or anything speaking the
+// same three-verb protocol). It moves raw bytes only — Remote wraps it
+// in BackendStore so every fetched envelope is verified against its key
+// before anyone trusts it, the same defense the distributed tier
+// applies to worker responses.
+type HTTPBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPBackend validates baseURL (http or https, with a host) and
+// returns a backend talking to its /v1/store routes. A nil client gets
+// a default with a per-request timeout.
+func NewHTTPBackend(baseURL string, client *http.Client) (*HTTPBackend, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote %q: %w", baseURL, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("store: remote %q: need an http(s) base URL", baseURL)
+	}
+	if client == nil {
+		client = &http.Client{Timeout: defaultRemoteTimeout}
+	}
+	return &HTTPBackend{base: strings.TrimRight(baseURL, "/"), client: client}, nil
+}
+
+// objectURL is the entry route for key.
+func (b *HTTPBackend) objectURL(key Key) string {
+	return b.base + StorePathPrefix + "/" + url.PathEscape(key.String())
+}
+
+// GetObject implements Backend: 404 is a clean miss, 200 returns the
+// envelope bytes, anything else is an error.
+func (b *HTTPBackend) GetObject(key Key) ([]byte, bool, error) {
+	resp, err := b.client.Get(b.objectURL(key))
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote get %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		data, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes+1))
+		if err != nil {
+			return nil, false, fmt.Errorf("store: remote get %s: %w", key, err)
+		}
+		if int64(len(data)) > maxRecordBytes {
+			return nil, false, fmt.Errorf("store: remote get %s: oversized envelope", key)
+		}
+		return data, true, nil
+	case http.StatusNotFound:
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("store: remote get %s: %s", key, resp.Status)
+	}
+}
+
+// PutObject implements Backend: PUT the envelope bytes; any 2xx is
+// success (the server deduplicates identical writes itself).
+func (b *HTTPBackend) PutObject(key Key, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, b.objectURL(key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("store: remote put %s: %w", key, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("store: remote put %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("store: remote put %s: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// ListObjects implements Backend: the server's sorted entry listing.
+func (b *HTTPBackend) ListObjects() ([]Entry, error) {
+	resp, err := b.client.Get(b.base + StorePathPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("store: remote list: %s", resp.Status)
+	}
+	var out []Entry
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("store: remote list: %w", err)
+	}
+	if out == nil {
+		out = []Entry{}
+	}
+	return out, nil
+}
+
+// Remote is an HTTP-backed Store: HTTPBackend for the bytes,
+// BackendStore for the verification. `-store http://host:port` opens
+// one, which is how a fleet shares a corpus without a shared
+// filesystem.
+type Remote struct {
+	*BackendStore
+	backend *HTTPBackend
+}
+
+// OpenRemote opens a remote store on a serve process sharing its
+// corpus at baseURL.
+func OpenRemote(baseURL string, client *http.Client) (*Remote, error) {
+	b, err := NewHTTPBackend(baseURL, client)
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{BackendStore: NewBackendStore(b), backend: b}, nil
+}
+
+// Base returns the remote's base URL.
+func (r *Remote) Base() string { return r.backend.base }
+
+// List enumerates the remote corpus.
+func (r *Remote) List() ([]Entry, error) { return r.backend.ListObjects() }

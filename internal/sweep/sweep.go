@@ -146,6 +146,11 @@ type Result struct {
 	RemoteRedispatched int `json:"-"`
 	RemoteCorrupt      int `json:"-"`
 	RemoteLocal        int `json:"-"`
+	// StoreErrors counts failed store operations across the run
+	// (unreadable entries recomputed, failed writes). Wall-clock
+	// metadata like the Remote* counters — a degraded store changes
+	// timing, never bytes.
+	StoreErrors int `json:"-"`
 }
 
 // Run expands and executes a sweep, streaming cells through the engine
@@ -266,6 +271,7 @@ func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bo
 	st.res.Parallel = stats.Parallel
 	st.res.Failed += stats.Failed
 	st.res.Cached += stats.Cached
+	st.res.StoreErrors += stats.StoreErrors
 	st.res.Elapsed += stats.Elapsed
 	// Cumulative over the runner's lifetime: the last pass's snapshot
 	// is the whole run's total, so overwrite rather than accumulate.

@@ -1,0 +1,115 @@
+package ichannels_test
+
+// Migration conformance: a corpus materialized by a per-file sweep,
+// migrated with `store pack`, must serve a resumed run and a fresh
+// server with byte-identical output — cold == warm == migrated, every
+// post-migration cell marked cached. This is the promise that lets an
+// operator pack a production corpus between runs without anyone
+// downstream noticing.
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"ichannels"
+)
+
+const migrationSpec = "examples/sweeps/specs/crosscore_noise.json"
+
+func TestStorePackMigrationConformance(t *testing.T) {
+	storeDir := t.TempDir()
+	args := []string{"sweep", "run", migrationSpec, "-ndjson", "-parallel", "4", "-store", storeDir, "-resume"}
+
+	// Cold run materializes the per-file corpus.
+	cold := runCLI(t, args...)
+	if ichannels.DetectStoreLayout(storeDir) != ichannels.StoreLayoutPerFile {
+		t.Fatal("fresh corpus did not come up per-file")
+	}
+	for _, ln := range cold[:len(cold)-1] {
+		if wl, _ := parseWireLine(t, ln); wl.Cached {
+			t.Fatal("cold cell marked cached")
+		}
+	}
+
+	// Migrate in place via the CLI, exactly as an operator would.
+	out := runCLI(t, "store", "pack", storeDir)
+	if len(out) == 0 || !bytes.Contains(out[len(out)-1], []byte("packed")) {
+		t.Fatalf("store pack said: %s", bytes.Join(out, []byte("\n")))
+	}
+	if ichannels.DetectStoreLayout(storeDir) != ichannels.StoreLayoutPacked {
+		t.Fatal("store pack left the corpus per-file")
+	}
+	// Nothing per-file survives except the segments directory.
+	des, err := os.ReadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range des {
+		if de.Name() != "segments" {
+			t.Fatalf("per-file remnant %q after pack", de.Name())
+		}
+	}
+
+	// The packed corpus still verifies through the same CLI surface.
+	verify := runCLI(t, "store", "verify", storeDir)
+	last := string(verify[len(verify)-1])
+	if !strings.Contains(last, "0 corrupt") {
+		t.Fatalf("store verify after pack: %s", last)
+	}
+
+	// A resumed run over the migrated corpus: byte-identical stream,
+	// every cell served from the store.
+	warm := runCLI(t, args...)
+	if len(warm) != len(cold) {
+		t.Fatalf("migrated run emitted %d lines, cold %d", len(warm), len(cold))
+	}
+	for i, ln := range warm[:len(warm)-1] {
+		wl, res := parseWireLine(t, ln)
+		if !wl.Cached {
+			t.Errorf("migrated cell %d not served from the packed store", i)
+		}
+		_, coldRes := parseWireLine(t, cold[i])
+		if !bytes.Equal(res, coldRes) {
+			t.Errorf("migrated cell %d result differs from cold run:\n%s\nwant:\n%s", i, res, coldRes)
+		}
+	}
+	if !bytes.Equal(warm[len(warm)-1], cold[len(cold)-1]) {
+		t.Errorf("migrated aggregate differs from cold run:\n%s\nwant:\n%s",
+			warm[len(warm)-1], cold[len(cold)-1])
+	}
+
+	// A fresh server over the packed corpus serves the sweep entirely
+	// from segments, byte-identical again.
+	data, err := os.ReadFile(migrationSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newStoreServer(t, storeDir))
+	defer srv.Close()
+	http := postNDJSON(t, srv, "/v1/sweeps", data)
+	if len(http) != len(cold) {
+		t.Fatalf("http emitted %d lines, cold %d", len(http), len(cold))
+	}
+	for i, ln := range http[:len(http)-1] {
+		wl, res := parseWireLine(t, ln)
+		if !wl.Cached {
+			t.Errorf("http cell %d not served from the packed store", i)
+		}
+		_, coldRes := parseWireLine(t, cold[i])
+		if !bytes.Equal(res, coldRes) {
+			t.Errorf("http cell %d result differs from cold run", i)
+		}
+	}
+	if !bytes.Equal(http[len(http)-1], cold[len(cold)-1]) {
+		t.Error("http aggregate differs from cold run after migration")
+	}
+
+	// And gc over the packed layout stays a safe no-op on a live corpus.
+	gc := runCLI(t, "store", "gc", storeDir)
+	if !strings.Contains(string(gc[len(gc)-1]), "removed 0 corrupt") {
+		t.Fatalf("store gc after pack: %s", gc[len(gc)-1])
+	}
+}
