@@ -1,0 +1,93 @@
+package ichannels_test
+
+// Short-run benchmarks: the figure shapes whose simulated durations are
+// small enough that fixed per-run overhead (machine construction, RNG
+// seeding, event-name formatting) dominates wall-clock. The full figure
+// benchmarks amortize that overhead over long simulations; these do
+// not, so a regression in the setup path shows up here first.
+
+import (
+	"testing"
+
+	"ichannels"
+)
+
+// shortRunMachine builds the fixed-overhead-dominated machine every
+// short-run shape starts from: fresh construction per iteration is the
+// point (the grid path without pooling).
+func shortRunMachine(b *testing.B, cores int, seed int64) *ichannels.Machine {
+	b.Helper()
+	proc := ichannels.CannonLake8121U()
+	m, err := ichannels.NewMachine(ichannels.MachineOptions{Processor: proc, Cores: cores, Seed: seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// runShortAgent binds one single-action agent per (core, slot) pair and
+// runs the machine for the given simulated window.
+func runShortAgent(b *testing.B, m *ichannels.Machine, placements [][2]int, act ichannels.Action, window ichannels.Duration) {
+	b.Helper()
+	for _, p := range placements {
+		done := false
+		a := ichannels.AgentFunc{AgentName: "short", Fn: func(env *ichannels.AgentEnv, prev *ichannels.Result) ichannels.Action {
+			if done {
+				return ichannels.StopAction()
+			}
+			done = true
+			return act
+		}}
+		if _, err := m.Bind(p[0], p[1], a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	m.RunFor(window)
+}
+
+// BenchmarkShortRunFig8bc is the Fig. 8b/c shape at small simulated
+// duration: one thread issuing a first AVX-512 burst from idle (license
+// request, gate wake, throttling ramp) over a 50 µs window.
+func BenchmarkShortRunFig8bc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := shortRunMachine(b, 1, int64(i+1))
+		runShortAgent(b, m, [][2]int{{0, 0}},
+			ichannels.Exec(ichannels.KernelFor(ichannels.Vec512Heavy), 200),
+			50*ichannels.Microsecond)
+	}
+}
+
+// BenchmarkShortRunFig9 is the Fig. 9 shape at small simulated
+// duration: scalar work on one SMT sibling while the other issues the
+// throttling-period AVX-256 burst, over a 50 µs window.
+func BenchmarkShortRunFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := shortRunMachine(b, 1, int64(i+1))
+		done := false
+		scalar := ichannels.AgentFunc{AgentName: "scalar", Fn: func(env *ichannels.AgentEnv, prev *ichannels.Result) ichannels.Action {
+			if done {
+				return ichannels.StopAction()
+			}
+			done = true
+			return ichannels.Exec(ichannels.KernelFor(ichannels.Scalar64), 2000)
+		}}
+		if _, err := m.Bind(0, 1, scalar); err != nil {
+			b.Fatal(err)
+		}
+		runShortAgent(b, m, [][2]int{{0, 0}},
+			ichannels.Exec(ichannels.KernelFor(ichannels.Vec256Heavy), 500),
+			50*ichannels.Microsecond)
+	}
+}
+
+// BenchmarkShortRunFig10a is the Fig. 10a shape at small simulated
+// duration: two cores issuing wide bursts together, serializing on the
+// shared voltage regulator, over a 50 µs window.
+func BenchmarkShortRunFig10a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := shortRunMachine(b, 2, int64(i+1))
+		runShortAgent(b, m, [][2]int{{0, 0}, {1, 0}},
+			ichannels.Exec(ichannels.KernelFor(ichannels.Vec512Heavy), 200),
+			50*ichannels.Microsecond)
+	}
+}

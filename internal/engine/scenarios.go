@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ichannels/internal/scenario"
+	"ichannels/internal/soc"
 	"ichannels/internal/store"
 )
 
@@ -36,6 +37,9 @@ type ScenarioOptions struct {
 	// Store, when set, serves scenarios whose (hash, seed) result it
 	// already holds and persists the rest — see StreamOptions.Store.
 	Store store.Store
+	// Machines, when set, recycles simulated machines through the
+	// default executor — see StreamOptions.Machines.
+	Machines *soc.Pool
 	// OnResult, when set, is called with each scenario's batch index as
 	// its outcome is emitted, in batch order (from the calling
 	// goroutine). The result slot is fully populated before the call.
@@ -136,6 +140,7 @@ func RunScenarios(ctx context.Context, opts ScenarioOptions) (*ScenarioBatch, er
 		Run:      opts.Run,
 		Runner:   opts.Runner,
 		Store:    opts.Store,
+		Machines: opts.Machines,
 		Emit: func(o ScenarioOutcome) error {
 			b.Results[emitted] = o
 			if opts.OnResult != nil {

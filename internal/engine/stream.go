@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ichannels/internal/scenario"
+	"ichannels/internal/soc"
 	"ichannels/internal/store"
 )
 
@@ -37,6 +38,12 @@ type StreamOptions struct {
 	Window int
 	// Run overrides the scenario executor (nil means scenario.Run).
 	Run ScenarioRunFunc
+	// Machines, when set, is the machine pool the default executor
+	// recycles simulated SoCs through (scenario.Runner.Machines). It is
+	// ignored when Run or Runner overrides the executor — those bring
+	// their own compute path. Pool reuse changes wall-clock only; the
+	// emitted bytes are identical with or without it.
+	Machines *soc.Pool
 	// Runner, when set, takes precedence over Run: it receives each
 	// cell's precomputed content hash alongside the spec and seed — the
 	// delegation seam the distributed tier plugs into (a coordinator
@@ -107,6 +114,13 @@ type StreamStats struct {
 	RemoteRedispatched int
 	RemoteCorrupt      int
 	RemoteLocal        int
+	// MachinesConstructed and MachinesReused snapshot the machine pool's
+	// counters (StreamOptions.Machines) after the stream drains. Like the
+	// Remote* counters they are cumulative over the pool's lifetime — a
+	// multi-pass sweep sharing one pool sees the run's total in its last
+	// pass's snapshot. Zero when no pool is set.
+	MachinesConstructed int
+	MachinesReused      int
 	// Parallel is the effective worker count.
 	Parallel int
 	// Elapsed is the stream wall-clock time.
@@ -148,8 +162,9 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 	}
 	runFn := opts.Run
 	if runFn == nil {
+		runner := scenario.Runner{Machines: opts.Machines}
 		runFn = func(ctx context.Context, s scenario.Scenario, seed int64) (*scenario.Result, error) {
-			return scenario.Runner{}.RunSeeded(ctx, s, seed)
+			return runner.RunSeeded(ctx, s, seed)
 		}
 	}
 	// The hash-aware compute seam: a delegating Runner wins, otherwise
@@ -269,6 +284,10 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 	stats.StoreErrors = int(storeErrs.Load())
 	if rs, ok := opts.Runner.(RemoteCellStats); ok {
 		stats.RemoteDispatched, stats.RemoteRedispatched, stats.RemoteCorrupt, stats.RemoteLocal = rs.RemoteCellStats()
+	}
+	if opts.Machines != nil {
+		ps := opts.Machines.Stats()
+		stats.MachinesConstructed, stats.MachinesReused = int(ps.Constructed), int(ps.Reused)
 	}
 	stats.Elapsed = time.Since(start)
 	if emitErr != nil {

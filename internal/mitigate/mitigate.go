@@ -145,13 +145,22 @@ const (
 // Evaluate grades one channel against one mitigation, transmitting a
 // pseudo-random payload of nBits bits.
 func Evaluate(k Kind, chKind core.Kind, proc model.Processor, nBits int, seed int64) (*Assessment, error) {
+	return EvaluatePooled(nil, k, chKind, proc, nBits, seed)
+}
+
+// EvaluatePooled is Evaluate drawing its machine from a pool (nil
+// constructs one, exactly like Evaluate). The assessment is identical
+// either way — recycled machines replay byte-identically — so the pool
+// only changes wall-clock.
+func EvaluatePooled(pool *soc.Pool, k Kind, chKind core.Kind, proc model.Processor, nBits int, seed int64) (*Assessment, error) {
 	if nBits <= 0 || nBits%2 != 0 {
 		return nil, fmt.Errorf("mitigate: nBits must be positive and even, got %d", nBits)
 	}
-	m, err := soc.New(MachineOptions(k, proc, seed))
+	m, err := pool.Acquire(MachineOptions(k, proc, seed))
 	if err != nil {
 		return nil, err
 	}
+	defer pool.Release(m)
 	ch, err := core.New(m, core.DefaultParams(chKind, proc))
 	if err != nil {
 		return nil, err
@@ -195,6 +204,10 @@ func Evaluate(k Kind, chKind core.Kind, proc model.Processor, nBits int, seed in
 func EvaluateAll(proc model.Processor, nBits int, seed int64) ([]*Assessment, error) {
 	var out []*Assessment
 	channels := []core.Kind{core.SameThread, core.SMT, core.CrossCore}
+	// One pool across the matrix: the None and ImprovedThrottling and
+	// SecureMode cells all share a machine shape, so most of the grid
+	// reuses one SoC instead of rebuilding twelve.
+	pool := soc.NewPool()
 	for _, mk := range []Kind{None, PerCoreVR, ImprovedThrottling, SecureMode} {
 		for _, ck := range channels {
 			if ck == core.SMT && proc.SMTWays < 2 {
@@ -203,7 +216,7 @@ func EvaluateAll(proc model.Processor, nBits int, seed int64) ([]*Assessment, er
 			if ck == core.CrossCore && proc.Cores < 2 {
 				continue
 			}
-			a, err := Evaluate(mk, ck, proc, nBits, seed+int64(mk)*17+int64(ck)*3)
+			a, err := EvaluatePooled(pool, mk, ck, proc, nBits, seed+int64(mk)*17+int64(ck)*3)
 			if err != nil {
 				return nil, fmt.Errorf("mitigate: %v × %v: %w", mk, ck, err)
 			}

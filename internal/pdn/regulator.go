@@ -136,6 +136,24 @@ func NewRegulator(cfg Config, v0 units.Volt) (*Regulator, error) {
 	return &Regulator{cfg: cfg, startV: v0, targetV: v0}, nil
 }
 
+// Reset re-settles the regulator at v0 under a (possibly updated)
+// configuration, exactly as if freshly constructed — the in-place form a
+// pooled machine uses to avoid rebuilding its power-delivery network.
+func (r *Regulator) Reset(cfg Config, v0 units.Volt) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if v0 < cfg.VMin || v0 > cfg.VMax {
+		return fmt.Errorf("pdn: initial voltage %v outside [%v, %v]", v0, cfg.VMin, cfg.VMax)
+	}
+	r.cfg = cfg
+	r.startV = v0
+	r.targetV = v0
+	r.rampStart = 0
+	r.rampEnd = 0
+	return nil
+}
+
 // Config returns the regulator's configuration.
 func (r *Regulator) Config() Config { return r.cfg }
 

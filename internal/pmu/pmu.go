@@ -3,6 +3,7 @@ package pmu
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"ichannels/internal/isa"
 	"ichannels/internal/pdn"
@@ -129,7 +130,7 @@ type PMU struct {
 
 	lic       []isa.Class
 	lastTouch [][isa.NumClasses]units.Time
-	decayEv   []*sched.Event
+	decayEv   []sched.EventRef
 	decayFn   []func(units.Time) // prebound per-core decay callbacks
 	decayName []string           // precomputed event names
 
@@ -138,7 +139,7 @@ type PMU struct {
 
 	curFreq       units.Hertz
 	lastDownshift units.Time
-	restoreEv     *sched.Event
+	restoreEv     sched.EventRef
 	restoreQueued bool
 
 	secure      bool
@@ -176,7 +177,7 @@ func (p *PMU) AttachCores(cores []Core) error {
 			p.lastTouch[i][c] = longAgo
 		}
 	}
-	p.decayEv = make([]*sched.Event, n)
+	p.decayEv = make([]sched.EventRef, n)
 	// The decay check reschedules itself on every license touch window;
 	// binding the callback and its event name once per core keeps that
 	// hot path free of per-schedule closure and string allocations.
@@ -184,9 +185,9 @@ func (p *PMU) AttachCores(cores []Core) error {
 	p.decayName = make([]string, n)
 	for i := 0; i < n; i++ {
 		coreID := i
-		p.decayName[i] = fmt.Sprintf("pmu.decay.core%d", coreID)
+		p.decayName[i] = "pmu.decay.core" + strconv.Itoa(coreID)
 		p.decayFn[i] = func(now units.Time) {
-			p.decayEv[coreID] = nil
+			p.decayEv[coreID] = sched.EventRef{}
 			p.decayCheck(coreID, now)
 		}
 	}
@@ -230,6 +231,57 @@ func (p *PMU) Initialize() error {
 	}
 	p.lastDownshift = longAgo
 	p.initialized = true
+	return nil
+}
+
+// Reset returns an initialized PMU to its just-initialized state under a
+// (possibly updated) configuration, reusing the attached cores, regulators,
+// and every internal slice — the in-place form a pooled machine uses. The
+// regulator topology must not change (machine pools key on PerCoreVR), and
+// the shared scheduler must have been reset first.
+func (p *PMU) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !p.initialized {
+		return fmt.Errorf("pmu: Reset before Initialize")
+	}
+	if cfg.PerCoreVR != p.cfg.PerCoreVR {
+		return fmt.Errorf("pmu: Reset cannot change regulator topology")
+	}
+	p.cfg = cfg
+	p.secure = false
+	p.stats = Stats{}
+	p.restoreQueued = false
+	p.restoreEv = sched.EventRef{}
+	for i := range p.lic {
+		p.lic[i] = isa.Scalar64
+		p.decayEv[i] = sched.EventRef{}
+		for c := range p.lastTouch[i] {
+			p.lastTouch[i][c] = longAgo
+		}
+	}
+	for i := range p.busy {
+		p.busy[i] = false
+		p.queue[i] = p.queue[i][:0]
+	}
+	// Re-settle at the requested operating point, exactly as Initialize.
+	now := p.q.Now()
+	f := p.maxFreqAllowed(p.lic)
+	if f <= 0 {
+		return fmt.Errorf("pmu: no frequency satisfies the electrical limits even for scalar code")
+	}
+	p.curFreq = f
+	for _, c := range p.cores {
+		c.SetFrequency(f, now)
+	}
+	v0 := p.cfg.VF.Voltage(f)
+	for _, r := range p.regs {
+		if err := r.Reset(p.cfg.VR, v0); err != nil {
+			return err
+		}
+	}
+	p.lastDownshift = longAgo
 	return nil
 }
 
@@ -347,7 +399,7 @@ func (p *PMU) touch(coreID int, c isa.Class) {
 	}
 	now := p.q.Now()
 	p.lastTouch[coreID][c] = now
-	if p.decayEv[coreID] == nil {
+	if p.decayEv[coreID].Cancelled() {
 		p.scheduleDecay(coreID, now.Add(p.cfg.LicenseHysteresis))
 	}
 }
@@ -607,12 +659,12 @@ func (p *PMU) switchFrequency(to units.Hertz, now units.Time, cont func(units.Ti
 }
 
 func (p *PMU) scheduleRestoreCheck(at units.Time) {
-	if p.restoreEv != nil && !p.restoreEv.Cancelled() && p.restoreEv.At <= at {
+	if !p.restoreEv.Cancelled() && p.restoreEv.Time() <= at {
 		return
 	}
 	p.q.Cancel(p.restoreEv)
 	p.restoreEv = p.q.At(at, "pmu.freq.restorecheck", func(now units.Time) {
-		p.restoreEv = nil
+		p.restoreEv = sched.EventRef{}
 		p.maybeRestoreFrequency(now)
 	})
 }

@@ -92,6 +92,12 @@ type Runner struct {
 	// ExpRun overrides the experiment executor for role "experiment"
 	// (nil means exp.Run).
 	ExpRun func(id string, seed int64) (*exp.Report, error)
+	// Machines, when set, recycles simulated machines across runs
+	// instead of constructing one per scenario — the big wall-clock win
+	// for grids of short cells. Reset machines replay byte-identically
+	// to fresh ones (the soc pooling contract), so results do not depend
+	// on whether a pool is set. Nil constructs per run.
+	Machines *soc.Pool
 }
 
 // Run executes one scenario with the default Runner. The context is
@@ -129,13 +135,13 @@ func (r Runner) RunSeeded(ctx context.Context, s Scenario, seed int64) (*Result,
 	var err error
 	switch n.Role {
 	case RoleChannel:
-		err = runChannel(ctx, n, seed, res)
+		err = runChannel(ctx, n, seed, res, r.Machines)
 	case RoleBaseline:
-		err = runBaseline(ctx, n, seed, res)
+		err = runBaseline(ctx, n, seed, res, r.Machines)
 	case RoleSpy:
-		err = runSpy(ctx, n, seed, res)
+		err = runSpy(ctx, n, seed, res, r.Machines)
 	case RoleMitigation:
-		err = runMitigation(n, seed, res)
+		err = runMitigation(n, seed, res, r.Machines)
 	case RoleExperiment:
 		run := r.ExpRun
 		if run == nil {
@@ -149,9 +155,11 @@ func (r Runner) RunSeeded(ctx context.Context, s Scenario, seed int64) (*Result,
 	return res, nil
 }
 
-// machineFor builds the scenario's machine: requested operating point,
-// core count, noise environment, seed.
-func machineFor(n Scenario, proc model.Processor, seed int64) (*soc.Machine, error) {
+// machineFor provisions the scenario's machine — requested operating
+// point, core count, noise environment, seed — from the pool when one
+// is set (nil constructs). The caller releases it back when the run is
+// over.
+func machineFor(n Scenario, proc model.Processor, seed int64, pool *soc.Pool) (*soc.Machine, error) {
 	opts := soc.Options{
 		Processor:     proc,
 		RequestedFreq: effectiveFreq(n, proc),
@@ -162,7 +170,7 @@ func machineFor(n Scenario, proc model.Processor, seed int64) (*soc.Machine, err
 		opts.Noise = soc.WithRates(no.InterruptsPerSec, no.CtxSwitchesPerSec)
 		opts.TSCJitterCycles = no.TSCJitterCycles
 	}
-	return soc.New(opts)
+	return pool.Acquire(opts)
 }
 
 // effectiveFreq picks the requested operating point: the override, else
@@ -231,7 +239,7 @@ func decodePayload(n Scenario, res *Result) {
 }
 
 // runChannel calibrates and transmits over one IChannels variant.
-func runChannel(ctx context.Context, n Scenario, seed int64, res *Result) error {
+func runChannel(ctx context.Context, n Scenario, seed int64, res *Result, pool *soc.Pool) error {
 	proc, err := model.ByName(n.Processor)
 	if err != nil {
 		return err
@@ -240,10 +248,11 @@ func runChannel(ctx context.Context, n Scenario, seed int64, res *Result) error 
 	if err != nil {
 		return err
 	}
-	m, err := machineFor(n, proc, seed)
+	m, err := machineFor(n, proc, seed, pool)
 	if err != nil {
 		return err
 	}
+	defer pool.Release(m)
 	params := core.DefaultParams(kind, proc)
 	if p := n.Params; p != nil {
 		if p.SlotPeriodUS > 0 {
@@ -293,15 +302,16 @@ type baselineChannel interface {
 }
 
 // runBaseline calibrates and transmits over one comparison channel.
-func runBaseline(ctx context.Context, n Scenario, seed int64, res *Result) error {
+func runBaseline(ctx context.Context, n Scenario, seed int64, res *Result, pool *soc.Pool) error {
 	proc, err := model.ByName(n.Processor)
 	if err != nil {
 		return err
 	}
-	m, err := machineFor(n, proc, seed)
+	m, err := machineFor(n, proc, seed, pool)
 	if err != nil {
 		return err
 	}
+	defer pool.Release(m)
 	var ch baselineChannel
 	switch n.Baseline {
 	case BaselineNetSpectre:
@@ -341,15 +351,16 @@ func runBaseline(ctx context.Context, n Scenario, seed int64, res *Result) error
 // pseudo-random victim width sequence. Each observation window encodes
 // its width-class index as 2 bits, so the spy slots into the same
 // bits/BER/throughput envelope as the transmitting channels.
-func runSpy(ctx context.Context, n Scenario, seed int64, res *Result) error {
+func runSpy(ctx context.Context, n Scenario, seed int64, res *Result, pool *soc.Pool) error {
 	proc, err := model.ByName(n.Processor)
 	if err != nil {
 		return err
 	}
-	m, err := machineFor(n, proc, seed)
+	m, err := machineFor(n, proc, seed, pool)
 	if err != nil {
 		return err
 	}
+	defer pool.Release(m)
 	var kind core.Kind
 	if n.Kind == KindCores {
 		kind = core.CrossCore
@@ -407,7 +418,7 @@ func runSpy(ctx context.Context, n Scenario, seed int64, res *Result) error {
 // runMitigation grades one channel kind under one defense via the
 // mitigation harness (which supplies its own standard noise
 // environment — that is the published evaluation methodology).
-func runMitigation(n Scenario, seed int64, res *Result) error {
+func runMitigation(n Scenario, seed int64, res *Result, pool *soc.Pool) error {
 	proc, err := model.ByName(n.Processor)
 	if err != nil {
 		return err
@@ -423,7 +434,7 @@ func runMitigation(n Scenario, seed int64, res *Result) error {
 	if err != nil {
 		return err
 	}
-	a, err := mitigate.Evaluate(mk, ck, proc, n.Bits, seed)
+	a, err := mitigate.EvaluatePooled(pool, mk, ck, proc, n.Bits, seed)
 	if err != nil {
 		return err
 	}

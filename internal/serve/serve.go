@@ -63,6 +63,7 @@ import (
 	"ichannels/internal/engine"
 	"ichannels/internal/exp"
 	"ichannels/internal/scenario"
+	"ichannels/internal/soc"
 	"ichannels/internal/store"
 )
 
@@ -138,6 +139,7 @@ type Options struct {
 type Server struct {
 	run        engine.RunFunc  // legacy experiment executor
 	runner     scenario.Runner // scenario executor (ExpRun wired to run)
+	machines   *soc.Pool       // machine pool the runner recycles SoCs through
 	maxCache   int
 	sem        chan struct{} // nil = unbounded; else bounds running simulations
 	store      store.Store   // nil = memory-only; else the durable tier
@@ -216,9 +218,11 @@ func New(opts Options) *Server {
 	case c > 0:
 		sem = make(chan struct{}, c)
 	}
+	machines := soc.NewPool()
 	return &Server{
 		run:        run,
-		runner:     scenario.Runner{ExpRun: run},
+		runner:     scenario.Runner{ExpRun: run, Machines: machines},
+		machines:   machines,
 		maxCache:   maxCache,
 		sem:        sem,
 		store:      opts.Store,

@@ -18,13 +18,18 @@ import (
 	"io"
 	"net/http"
 
+	"ichannels/internal/soc"
 	"ichannels/internal/store"
 )
 
 // statsResponse is the GET /v1/stats body.
 type statsResponse struct {
-	Cache cacheStats  `json:"cache"`
-	Store *storeStats `json:"store,omitempty"`
+	Cache cacheStats `json:"cache"`
+	// Machines is the machine-pool tally: simulated SoCs built from
+	// scratch vs recycled across scenario runs (wall-clock metadata;
+	// reuse never changes result bytes).
+	Machines soc.PoolStats `json:"machines"`
+	Store    *storeStats   `json:"store,omitempty"`
 }
 
 type cacheStats struct {
@@ -46,6 +51,7 @@ func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := statsResponse{}
 	resp.Cache.Hits, resp.Cache.Misses = s.CacheStats()
+	resp.Machines = s.machines.Stats()
 	if s.store != nil {
 		st := &storeStats{Shared: s.shareStore}
 		st.Hits, st.Misses, st.Errors = s.StoreCounters()

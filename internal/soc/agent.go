@@ -153,21 +153,63 @@ func (m *Machine) Bind(coreID, slot int, a Agent) (*SWThread, error) {
 	if slot < 0 || slot >= m.Proc.SMTWays {
 		return nil, fmt.Errorf("soc: core %d has no SMT slot %d", coreID, slot)
 	}
+	// m.threads holds only live threads, so this duplicate-slot check is
+	// O(bound slots) no matter how many agents have come and gone — it
+	// used to scan every thread ever bound, which made long machine
+	// reuse (thousands of transmissions on one machine) quadratic.
 	for _, t := range m.threads {
-		if t.env.CoreID == coreID && t.env.Slot == slot && !t.stopped {
+		if t.env.CoreID == coreID && t.env.Slot == slot {
 			return nil, fmt.Errorf("soc: core %d slot %d already bound to %q", coreID, slot, t.agent.Name())
 		}
 	}
 	if a == nil {
 		return nil, fmt.Errorf("soc: nil agent")
 	}
-	t := &SWThread{m: m, agent: a, env: Env{M: m, CoreID: coreID, Slot: slot},
-		idleName: "soc.idle." + a.Name()}
-	t.onDone = t.completeMeasured
-	t.onIdleDone = t.completeIdle
+	t := m.newThread()
+	t.agent = a
+	t.env = Env{M: m, CoreID: coreID, Slot: slot}
+	t.idleName = "soc.idle." + a.Name()
 	m.threads = append(m.threads, t)
 	m.Q.After(0, "soc.bind."+a.Name(), func(units.Time) { m.step(t, nil) })
 	return t, nil
+}
+
+// newThread takes a recycled SWThread from the free list (keeping its
+// prebound completion callbacks) or allocates one.
+func (m *Machine) newThread() *SWThread {
+	if n := len(m.freeTh); n > 0 {
+		t := m.freeTh[n-1]
+		m.freeTh[n-1] = nil
+		m.freeTh = m.freeTh[:n-1]
+		t.stopped = false
+		t.pendAct = Action{}
+		t.pendStart = 0
+		t.pendTSC = 0
+		t.pendCtr = uarch.Counters{}
+		t.res = Result{}
+		return t
+	}
+	t := &SWThread{m: m}
+	t.onDone = t.completeMeasured
+	t.onIdleDone = t.completeIdle
+	return t
+}
+
+// retire removes a stopped thread from the live list, preserving bind
+// order for the remaining threads (the noise injector's victim draw
+// depends on that order). The object itself is recycled at the next
+// machine Reset, not immediately: callers may hold the *SWThread and
+// poll Stopped() after the agent exits.
+func (m *Machine) retire(t *SWThread) {
+	for i, lt := range m.threads {
+		if lt == t {
+			copy(m.threads[i:], m.threads[i+1:])
+			m.threads[len(m.threads)-1] = nil
+			m.threads = m.threads[:len(m.threads)-1]
+			break
+		}
+	}
+	m.retired = append(m.retired, t)
 }
 
 // completeMeasured finishes an ActExec/ActSpinUntil action: fill the
@@ -206,6 +248,7 @@ func (m *Machine) step(t *SWThread, prev *Result) {
 	switch act.Kind {
 	case ActStop:
 		t.stopped = true
+		m.retire(t)
 
 	case ActExec:
 		t.pendAct, t.pendStart = act, now

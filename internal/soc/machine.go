@@ -69,10 +69,25 @@ type Machine struct {
 
 	loadLine pdn.LoadLine
 	thermal  *power.Thermal
-	rng      *rand.Rand
 	noise    *noiseInjector
-	threads  []*SWThread
 	opts     Options
+
+	// rng is constructed (or re-seeded after a Reset) lazily on first
+	// draw: seeding math/rand costs more than an entire short simulation,
+	// and machines without noise or TSC jitter never draw at all. The
+	// draw sequence for a given seed is unchanged, so output bytes are
+	// identical to an eagerly seeded machine.
+	rng       *rand.Rand
+	rngSeeded bool
+
+	// threads holds the live (bound, not yet stopped) software threads in
+	// bind order; a thread is removed the moment its agent stops, keeping
+	// the bind-time duplicate-slot check and the noise injector's victim
+	// scan O(live threads) rather than O(threads ever bound). retired
+	// accumulates stopped threads until the next Reset recycles them.
+	threads []*SWThread
+	retired []*SWThread
+	freeTh  []*SWThread
 
 	lastPower units.Watt
 	// actScratch is the reusable per-probe activity buffer; its values
@@ -80,44 +95,38 @@ type Machine struct {
 	actScratch []uarch.ThreadActivity
 }
 
-// New builds and initializes a machine. The returned machine is at
-// simulated time zero with all cores idle and the PMU settled at the
-// requested operating point.
-func New(opts Options) (*Machine, error) {
+// deriveShape validates opts and resolves the derived build parameters
+// shared by New and Reset.
+func deriveShape(opts Options) (ncores int, req units.Hertz, err error) {
 	p := opts.Processor
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return 0, 0, err
 	}
-	ncores := opts.Cores
+	ncores = opts.Cores
 	if ncores == 0 {
 		ncores = p.Cores
 	}
 	if ncores < 1 || ncores > p.Cores {
-		return nil, fmt.Errorf("soc: core count %d outside [1, %d]", ncores, p.Cores)
+		return 0, 0, fmt.Errorf("soc: core count %d outside [1, %d]", ncores, p.Cores)
 	}
-	req := opts.RequestedFreq
+	req = opts.RequestedFreq
 	if req == 0 {
 		req = p.BaseFreq
 	}
 	if req > p.MaxTurbo {
-		return nil, fmt.Errorf("soc: requested frequency %v above max Turbo %v", req, p.MaxTurbo)
+		return 0, 0, fmt.Errorf("soc: requested frequency %v above max Turbo %v", req, p.MaxTurbo)
 	}
+	return ncores, req, nil
+}
 
-	q := sched.NewQueue()
-	ll, err := pdn.NewLoadLine(p.RLL)
-	if err != nil {
-		return nil, err
-	}
-	th, err := power.NewThermal(p.Thermal.Ambient, p.Thermal.RPkg, p.Thermal.TauPkg, p.Thermal.RDie, p.Thermal.TauDie)
-	if err != nil {
-		return nil, err
-	}
-
+// pmuConfig builds the PMU configuration for opts.
+func pmuConfig(opts Options, req units.Hertz) pmu.Config {
+	p := opts.Processor
 	vr := p.VR
 	if opts.VROverride != nil {
 		vr = *opts.VROverride
 	}
-	pcfg := pmu.Config{
+	return pmu.Config{
 		Guardband:          p.Guardband,
 		VF:                 p.VF,
 		Limits:             p.Limits,
@@ -131,7 +140,44 @@ func New(opts Options) (*Machine, error) {
 		PerCoreVR:          opts.PerCoreVR,
 		VR:                 vr,
 	}
-	unit, err := pmu.New(pcfg, q)
+}
+
+// coreConfig builds the configuration for core i under opts.
+func coreConfig(opts Options, i int) uarch.Config {
+	p := opts.Processor
+	return uarch.Config{
+		ID:                  i,
+		SMTWays:             p.SMTWays,
+		DeliverWidth:        p.DeliverWidth,
+		ThrottleFactor:      p.ThrottleFactor,
+		PerThreadThrottle:   opts.PerThreadThrottle,
+		AVX256Gate:          gateConfig(p.AVX256Gate),
+		AVX512Gate:          gateConfig(p.AVX512Gate),
+		BaselineUndelivered: 0.01,
+	}
+}
+
+// New builds and initializes a machine. The returned machine is at
+// simulated time zero with all cores idle and the PMU settled at the
+// requested operating point.
+func New(opts Options) (*Machine, error) {
+	p := opts.Processor
+	ncores, req, err := deriveShape(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	q := sched.NewQueue()
+	ll, err := pdn.NewLoadLine(p.RLL)
+	if err != nil {
+		return nil, err
+	}
+	th, err := power.NewThermal(p.Thermal.Ambient, p.Thermal.RPkg, p.Thermal.TauPkg, p.Thermal.RDie, p.Thermal.TauDie)
+	if err != nil {
+		return nil, err
+	}
+
+	unit, err := pmu.New(pmuConfig(opts, req), q)
 	if err != nil {
 		return nil, err
 	}
@@ -142,26 +188,13 @@ func New(opts Options) (*Machine, error) {
 		PMU:      unit,
 		loadLine: ll,
 		thermal:  th,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
 		opts:     opts,
 	}
 
-	avx256 := gateConfig(p.AVX256Gate)
-	avx512 := gateConfig(p.AVX512Gate)
 	cores := make([]*uarch.Core, ncores)
 	pmuCores := make([]pmu.Core, ncores)
 	for i := range cores {
-		cc := uarch.Config{
-			ID:                  i,
-			SMTWays:             p.SMTWays,
-			DeliverWidth:        p.DeliverWidth,
-			ThrottleFactor:      p.ThrottleFactor,
-			PerThreadThrottle:   opts.PerThreadThrottle,
-			AVX256Gate:          avx256,
-			AVX512Gate:          avx512,
-			BaselineUndelivered: 0.01,
-		}
-		core, err := uarch.NewCore(cc, q, unit)
+		core, err := uarch.NewCore(coreConfig(opts, i), q, unit)
 		if err != nil {
 			return nil, err
 		}
@@ -175,15 +208,77 @@ func New(opts Options) (*Machine, error) {
 	if err := unit.Initialize(); err != nil {
 		return nil, err
 	}
-	if opts.SecureMode {
-		unit.SetSecure(true)
+	m.settle()
+	return m, nil
+}
+
+// settle performs the post-initialization steps shared by New and Reset:
+// the secure-mode guardband ramp and arming the noise injector.
+func (m *Machine) settle() {
+	if m.opts.SecureMode {
+		m.PMU.SetSecure(true)
 		// Let the worst-case guardband ramp settle before time zero
 		// workloads begin; secure mode is an operating mode, not a
 		// transient (paper §7).
-		q.RunUntil(q.Now().Add(200 * units.Microsecond))
+		m.Q.RunUntil(m.Q.Now().Add(200 * units.Microsecond))
 	}
-	m.noise = newNoiseInjector(m, opts.Noise)
-	return m, nil
+	m.noise = newNoiseInjector(m, m.opts.Noise)
+}
+
+// Reset rewinds the machine to the state New(opts) would produce — time
+// zero, cores idle, PMU settled, counters cleared, randomness restarted
+// from opts.Seed — while reusing every long-lived structure: the event
+// queue's node pool, the cores with their prebound callbacks, the PMU's
+// per-core slices, the regulators, and retired SWThreads. A reset machine
+// replays byte-identically to a fresh one (soc's reset determinism test
+// and the sweep conformance suites hold this line).
+//
+// The machine's shape must not change: same processor topology (core
+// count, SMT ways) and same regulator topology (PerCoreVR). Pools key on
+// shape, so Reset is only ever asked for compatible options; incompatible
+// options return an error and the caller falls back to New.
+func (m *Machine) Reset(opts Options) error {
+	ncores, req, err := deriveShape(opts)
+	if err != nil {
+		return err
+	}
+	if ncores != len(m.Cores) || opts.Processor.SMTWays != m.Proc.SMTWays {
+		return fmt.Errorf("soc: Reset cannot change core topology (%d cores × %d-way to %d × %d-way)",
+			len(m.Cores), m.Proc.SMTWays, ncores, opts.Processor.SMTWays)
+	}
+	ll, err := pdn.NewLoadLine(opts.Processor.RLL)
+	if err != nil {
+		return err
+	}
+	th := opts.Processor.Thermal
+	thermal, err := power.NewThermal(th.Ambient, th.RPkg, th.TauPkg, th.RDie, th.TauDie)
+	if err != nil {
+		return err
+	}
+	// From here on the machine mutates; a mid-way error leaves it in an
+	// undefined state and the caller must discard it (pools do).
+	m.Q.Reset()
+	for i, c := range m.Cores {
+		if err := c.Reset(coreConfig(opts, i)); err != nil {
+			return err
+		}
+	}
+	if err := m.PMU.Reset(pmuConfig(opts, req)); err != nil {
+		return err
+	}
+	m.Proc = opts.Processor
+	m.opts = opts
+	m.loadLine = ll
+	m.thermal = thermal
+	m.rngSeeded = false
+	m.lastPower = 0
+	// Recycle every software thread object bound during the previous run.
+	m.freeTh = append(m.freeTh, m.retired...)
+	m.freeTh = append(m.freeTh, m.threads...)
+	m.retired = m.retired[:0]
+	m.threads = m.threads[:0]
+	m.settle()
+	return nil
 }
 
 func gateConfig(g interface {
@@ -209,7 +304,7 @@ func (m *Machine) TSC(t units.Time) int64 {
 func (m *Machine) ReadTSC(t units.Time) int64 {
 	v := m.TSC(t)
 	if m.opts.TSCJitterCycles > 0 {
-		v += m.rng.Int63n(m.opts.TSCJitterCycles)
+		v += m.Rand().Int63n(m.opts.TSCJitterCycles)
 	}
 	return v
 }
@@ -228,8 +323,21 @@ func (m *Machine) RunFor(d units.Duration) {
 func (m *Machine) RunUntil(t units.Time) { m.Q.RunUntil(t) }
 
 // Rand exposes the machine's deterministic random source (used by agents
-// that need jitter; seeded from Options.Seed).
-func (m *Machine) Rand() *rand.Rand { return m.rng }
+// that need jitter; seeded from Options.Seed). The source is seeded on
+// first use — deterministically, so the draw sequence matches an eagerly
+// seeded one — because seeding math/rand dominates machine construction
+// for short runs that never draw.
+func (m *Machine) Rand() *rand.Rand {
+	if !m.rngSeeded {
+		if m.rng == nil {
+			m.rng = rand.New(rand.NewSource(m.opts.Seed))
+		} else {
+			m.rng.Seed(m.opts.Seed)
+		}
+		m.rngSeeded = true
+	}
+	return m.rng
+}
 
 // PowerState is an instantaneous electrical snapshot of the machine.
 type PowerState struct {
@@ -319,5 +427,6 @@ func (m *Machine) probe(ipc []float64) PowerState {
 	}
 }
 
-// Threads returns the software threads bound so far.
+// Threads returns the live (bound, not yet stopped) software threads in
+// bind order.
 func (m *Machine) Threads() []*SWThread { return m.threads }

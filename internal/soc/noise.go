@@ -75,28 +75,26 @@ func (n *noiseInjector) scheduleNext(rate float64, name string, dmin, dmax units
 }
 
 // fire preempts one randomly chosen bound hardware thread for a uniformly
-// drawn service time.
+// drawn service time. m.threads holds exactly the live threads in bind
+// order — the same candidate list the old scan over all ever-bound
+// threads produced, so the victim draw sequence is unchanged — without
+// building a candidate slice per arrival.
 func (n *noiseInjector) fire(dmin, dmax units.Duration) {
-	var candidates []*SWThread
-	for _, t := range n.m.threads {
-		if !t.stopped {
-			candidates = append(candidates, t)
-		}
-	}
-	if len(candidates) == 0 {
+	live := n.m.threads
+	if len(live) == 0 {
 		return
 	}
-	victim := candidates[n.m.rng.Intn(len(candidates))]
+	victim := live[n.m.Rand().Intn(len(live))]
 	dur := dmin
 	if dmax > dmin {
-		dur = dmin + units.Duration(n.m.rng.Int63n(int64(dmax-dmin)))
+		dur = dmin + units.Duration(n.m.Rand().Int63n(int64(dmax-dmin)))
 	}
 	n.m.Cores[victim.env.CoreID].Preempt(victim.env.Slot, dur)
 }
 
 // exp draws an exponential variate with the given mean (seconds).
 func (n *noiseInjector) exp(mean float64) float64 {
-	u := n.m.rng.Float64()
+	u := n.m.Rand().Float64()
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64
 	}

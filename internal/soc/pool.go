@@ -1,0 +1,121 @@
+package soc
+
+import "sync"
+
+// Pool recycles Machines across runs. Building a machine costs far more
+// than most short simulations run on it — cores with prebound callbacks,
+// PMU slices, regulators, and the event queue's node pool are all
+// steady-state-allocation-free once warm — so sweep workers acquire a
+// machine per cell and release it back instead of rebuilding the SoC
+// every time. Reset guarantees a recycled machine replays byte-identically
+// to a fresh one, so pooling is invisible in the output.
+//
+// Machines pool by shape (processor profile, core count, regulator
+// topology): everything else — seed, noise, mitigation knobs, requested
+// frequency — is re-applied by Reset. A Reset that cannot honour the new
+// options (topology change, validation failure) falls back to New and the
+// stale machine is discarded, so key collisions cost performance, never
+// correctness.
+//
+// A nil *Pool is valid and simply constructs machines, so call sites can
+// thread an optional pool without branching.
+type Pool struct {
+	mu    sync.Mutex
+	idle  map[poolKey][]*Machine
+	stats PoolStats
+}
+
+// PoolStats counts pool activity: how many machines were built from
+// scratch and how many runs reused a pooled one.
+type PoolStats struct {
+	Constructed uint64 `json:"constructed"`
+	Reused      uint64 `json:"reused"`
+}
+
+type poolKey struct {
+	proc      string
+	cores     int
+	perCoreVR bool
+}
+
+// maxIdlePerKey bounds how many idle machines one shape retains; beyond
+// it, released machines are dropped for the garbage collector. Workers
+// hold at most one machine each, so this comfortably covers any sane
+// parallelism.
+const maxIdlePerKey = 32
+
+func keyOf(opts Options) poolKey {
+	ncores := opts.Cores
+	if ncores == 0 {
+		ncores = opts.Processor.Cores
+	}
+	return poolKey{proc: opts.Processor.Name, cores: ncores, perCoreVR: opts.PerCoreVR}
+}
+
+// NewPool creates an empty machine pool. Safe for concurrent use.
+func NewPool() *Pool {
+	return &Pool{idle: make(map[poolKey][]*Machine)}
+}
+
+// Acquire returns a machine configured per opts: a recycled one when a
+// shape-compatible machine is idle, a fresh one otherwise. The caller owns
+// it until Release.
+func (p *Pool) Acquire(opts Options) (*Machine, error) {
+	if p == nil {
+		return New(opts)
+	}
+	key := keyOf(opts)
+	p.mu.Lock()
+	var m *Machine
+	if list := p.idle[key]; len(list) > 0 {
+		n := len(list) - 1
+		m = list[n]
+		list[n] = nil
+		p.idle[key] = list[:n]
+	}
+	p.mu.Unlock()
+	if m != nil {
+		if err := m.Reset(opts); err == nil {
+			p.mu.Lock()
+			p.stats.Reused++
+			p.mu.Unlock()
+			return m, nil
+		}
+		// Shape mismatch under a colliding key (or a validation failure
+		// Reset detected mid-way): discard the machine and build fresh.
+	}
+	m, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	p.stats.Constructed++
+	p.mu.Unlock()
+	return m, nil
+}
+
+// Release returns a machine to the pool for a later Acquire. The caller
+// must not touch it afterwards. Releasing to a nil pool (or releasing a
+// nil machine) is a no-op.
+func (p *Pool) Release(m *Machine) {
+	if p == nil || m == nil {
+		return
+	}
+	key := keyOf(m.opts)
+	p.mu.Lock()
+	if len(p.idle[key]) < maxIdlePerKey {
+		p.idle[key] = append(p.idle[key], m)
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool counters. Valid on a nil pool
+// (all zeros).
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

@@ -31,6 +31,7 @@ import (
 
 	"ichannels/internal/engine"
 	"ichannels/internal/scenario"
+	"ichannels/internal/soc"
 	"ichannels/internal/stats"
 	"ichannels/internal/store"
 )
@@ -68,6 +69,13 @@ type Options struct {
 	// behind the NDJSON pass markers. Never called for dense sweeps. A
 	// non-nil error stops the sweep.
 	OnPass func(PassStats) error
+	// Machines is the machine pool cells recycle simulated SoCs
+	// through. Nil gets a fresh pool per Run when the default executor
+	// is in use (most grid cells share a few machine shapes, so reuse
+	// is the normal case); it is ignored when Run or Runner overrides
+	// the executor. Reuse changes wall-clock only — recycled machines
+	// replay byte-identically — so aggregate bytes never depend on it.
+	Machines *soc.Pool
 }
 
 // WithStore returns the options with the result store set — the fluent
@@ -151,6 +159,12 @@ type Result struct {
 	// metadata like the Remote* counters — a degraded store changes
 	// timing, never bytes.
 	StoreErrors int `json:"-"`
+	// MachinesConstructed and MachinesReused count how many simulated
+	// machines the run built from scratch vs recycled from the pool.
+	// Wall-clock metadata like the Remote* counters: reuse never
+	// changes the cell bytes.
+	MachinesConstructed int `json:"-"`
+	MachinesReused      int `json:"-"`
 }
 
 // Run expands and executes a sweep, streaming cells through the engine
@@ -192,6 +206,13 @@ type execState struct {
 }
 
 func newExecState(nsw scenario.Sweep, opts Options) *execState {
+	// Machine reuse is on by default: one pool spans every execution
+	// pass, so a refined sweep's later passes run almost entirely on
+	// recycled machines. Executor overrides bring their own compute
+	// path and get no pool.
+	if opts.Machines == nil && opts.Run == nil && opts.Runner == nil {
+		opts.Machines = soc.NewPool()
+	}
 	return &execState{
 		opts: opts,
 		agg:  NewAggregator(nsw.EffectiveGroupBy()),
@@ -235,6 +256,7 @@ func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bo
 		Run:      opts.Run,
 		Runner:   opts.Runner,
 		Store:    opts.Store,
+		Machines: opts.Machines,
 		Emit: func(o engine.ScenarioOutcome) error {
 			queueMu.Lock()
 			cell := cellQueue[0]
@@ -273,12 +295,15 @@ func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bo
 	st.res.Cached += stats.Cached
 	st.res.StoreErrors += stats.StoreErrors
 	st.res.Elapsed += stats.Elapsed
-	// Cumulative over the runner's lifetime: the last pass's snapshot
-	// is the whole run's total, so overwrite rather than accumulate.
+	// Cumulative over the runner's (and pool's) lifetime: the last
+	// pass's snapshot is the whole run's total, so overwrite rather
+	// than accumulate.
 	st.res.RemoteDispatched = stats.RemoteDispatched
 	st.res.RemoteRedispatched = stats.RemoteRedispatched
 	st.res.RemoteCorrupt = stats.RemoteCorrupt
 	st.res.RemoteLocal = stats.RemoteLocal
+	st.res.MachinesConstructed = stats.MachinesConstructed
+	st.res.MachinesReused = stats.MachinesReused
 	return nil
 }
 
@@ -549,8 +574,12 @@ func (r *Result) WriteTiming(w io.Writer) {
 	if ref := r.Refinement; ref != nil {
 		refined = fmt.Sprintf(" (refined: %d/%d dense)", ref.CellsComputed, ref.DenseCells)
 	}
-	fmt.Fprintf(w, "sweep %s: %d cells%s, %d failed, %d cached, parallel %d, %.2fms total\n",
-		r.Hash, len(r.Cells), refined, r.Failed, r.Cached, r.Parallel,
+	machines := ""
+	if r.MachinesConstructed > 0 || r.MachinesReused > 0 {
+		machines = fmt.Sprintf(", machines %d built/%d reused", r.MachinesConstructed, r.MachinesReused)
+	}
+	fmt.Fprintf(w, "sweep %s: %d cells%s, %d failed, %d cached%s, parallel %d, %.2fms total\n",
+		r.Hash, len(r.Cells), refined, r.Failed, r.Cached, machines, r.Parallel,
 		float64(r.Elapsed)/float64(time.Millisecond))
 }
 

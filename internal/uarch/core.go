@@ -16,6 +16,7 @@ package uarch
 
 import (
 	"fmt"
+	"strconv"
 
 	"ichannels/internal/isa"
 	"ichannels/internal/sched"
@@ -157,8 +158,8 @@ type hwThread struct {
 
 	rate       float64 // uops per second under current conditions
 	lastAccrue units.Time
-	completion *sched.Event
-	wakeEv     *sched.Event
+	completion sched.EventRef
+	wakeEv     sched.EventRef
 
 	// Prebound event callbacks and precomputed event names. The agent
 	// transition loop schedules completion/spin/wake/resume events on
@@ -220,14 +221,19 @@ func NewCore(cfg Config, q *sched.Queue, cm CurrentManager) (*Core, error) {
 		license: isa.Scalar64,
 		pending: noPending,
 	}
+	// Event names are built with strconv instead of fmt: machine
+	// construction is on the short-run critical path (a 100 µs simulation
+	// must not pay Sprintf's reflection cost a dozen times), and strconv
+	// serves small core/slot indices from its static digit table.
+	coreName := "core" + strconv.Itoa(cfg.ID)
 	var err error
-	c.avx256, err = NewPowerGate(fmt.Sprintf("core%d.avx256pg", cfg.ID), cfg.AVX256Gate, q, func() bool {
+	c.avx256, err = NewPowerGate(coreName+".avx256pg", cfg.AVX256Gate, q, func() bool {
 		return c.ActiveClass().AVX()
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.avx512, err = NewPowerGate(fmt.Sprintf("core%d.avx512pg", cfg.ID), cfg.AVX512Gate, q, func() bool {
+	c.avx512, err = NewPowerGate(coreName+".avx512pg", cfg.AVX512Gate, q, func() bool {
 		return c.ActiveClass().AVX512()
 	})
 	if err != nil {
@@ -236,7 +242,7 @@ func NewCore(cfg Config, q *sched.Queue, cm CurrentManager) (*Core, error) {
 	c.threads = make([]*hwThread, cfg.SMTWays)
 	for i := range c.threads {
 		t := &hwThread{core: c, slot: i, state: tsIdle}
-		prefix := fmt.Sprintf("core%d.t%d.", cfg.ID, i)
+		prefix := coreName + ".t" + strconv.Itoa(i) + "."
 		t.doneName = prefix + "done"
 		t.spinEndName = prefix + "spinend"
 		t.wakeName = prefix + "wake"
@@ -638,7 +644,7 @@ func (t *hwThread) reprice(now units.Time) {
 	t.rate = rate
 
 	c.q.Cancel(t.completion)
-	t.completion = nil
+	t.completion = sched.EventRef{}
 	if t.remUops <= 1e-9 {
 		// Finished exactly at a boundary: complete now.
 		t.completion = c.q.At(now, t.doneName, t.completionFn)
@@ -660,11 +666,11 @@ func (t *hwThread) reprice(now units.Time) {
 // finish otherwise. An exactly-at-boundary completion (remUops already
 // zero) accrues nothing and falls straight through to finishThread.
 func (t *hwThread) onCompletion(tm units.Time) {
-	t.completion = nil
+	t.completion = sched.EventRef{}
 	t.accrue(tm)
 	if t.remUops > 1e-6 {
 		t.reprice(tm)
-		if t.completion != nil {
+		if !t.completion.Cancelled() {
 			return
 		}
 	}
@@ -673,19 +679,60 @@ func (t *hwThread) onCompletion(tm units.Time) {
 
 // onSpinEnd handles a spin deadline (prebound per thread).
 func (t *hwThread) onSpinEnd(tm units.Time) {
-	t.completion = nil
+	t.completion = sched.EventRef{}
 	t.core.finishThread(t, tm)
 }
 
 // onWake handles a power-gate wake completing (prebound per thread).
 func (t *hwThread) onWake(tm units.Time) {
-	t.wakeEv = nil
+	t.wakeEv = sched.EventRef{}
 	t.core.repriceAll(tm, t.setRunning)
 }
 
 // onResume handles an OS-noise preemption ending (prebound per thread).
 func (t *hwThread) onResume(tm units.Time) {
 	t.core.repriceAll(tm, t.decPreempt)
+}
+
+// Reset returns the core to its just-constructed state so a pooled
+// machine can rerun from simulated time zero. The new configuration must
+// keep the core's identity and SMT topology (machine pools key on shape);
+// behavioural knobs (throttle policy, gate timings) may change. The caller
+// must have reset the shared scheduler first — no events of the previous
+// run may still be pending.
+func (c *Core) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.ID != c.cfg.ID || cfg.SMTWays != c.cfg.SMTWays {
+		return fmt.Errorf("uarch: core %d: Reset cannot change identity or topology (to core %d, %d-way)",
+			c.cfg.ID, cfg.ID, cfg.SMTWays)
+	}
+	c.cfg = cfg
+	c.freq = 0
+	c.halted = false
+	c.throttled = false
+	c.throttleSince = 0
+	c.throttleTotal = 0
+	c.requester = 0
+	c.license = isa.Scalar64
+	c.pending = noPending
+	c.avx256.reset(cfg.AVX256Gate)
+	c.avx512.reset(cfg.AVX512Gate)
+	for _, t := range c.threads {
+		t.state = tsIdle
+		t.kernel = isa.Kernel{}
+		t.remUops = 0
+		t.spinEnd = 0
+		t.preempted = 0
+		t.onDone = nil
+		t.rate = 0
+		t.lastAccrue = 0
+		t.completion = sched.EventRef{}
+		t.wakeEv = sched.EventRef{}
+		t.ctr = Counters{}
+	}
+	return nil
 }
 
 func maxDuration(a, b units.Duration) units.Duration {

@@ -55,7 +55,7 @@ type PowerGate struct {
 	inUse     func() bool // still actively executing on the unit?
 	open      bool
 	lastUse   units.Time
-	closeEv   *sched.Event
+	closeEv   sched.EventRef
 	onIdle    func(units.Time) // prebound onIdleTimer, allocated once
 
 	// Wakes counts gate-open transitions (observable in Fig. 8(b) as the
@@ -112,9 +112,20 @@ func (g *PowerGate) Touch(now units.Time) {
 // left alone: it may fire before the current deadline, but onIdleTimer
 // re-arms at the true deadline, so the close time is unchanged.
 func (g *PowerGate) armClose() {
-	if g.closeEv == nil || g.closeEv.Cancelled() {
+	if g.closeEv.Cancelled() {
 		g.closeEv = g.q.At(g.lastUse.Add(g.cfg.IdleTimeout), g.closeName, g.onIdle)
 	}
+}
+
+// reset returns the gate to its just-constructed state under a (possibly
+// updated) configuration. The owning core guarantees the scheduler was
+// reset too, so no close timer is pending.
+func (g *PowerGate) reset(cfg PowerGateConfig) {
+	g.cfg = cfg
+	g.open = false
+	g.lastUse = 0
+	g.closeEv = sched.EventRef{}
+	g.Wakes = 0
 }
 
 func (g *PowerGate) onIdleTimer(now units.Time) {

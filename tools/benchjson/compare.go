@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -146,22 +147,34 @@ func writeCompare(w io.Writer, oldPath, newPath string, rep *CompareReport) {
 	}
 }
 
-// runCompare implements `benchjson compare old.json new.json`. The
-// error return covers unusable inputs only; regressions never fail the
-// run (report-only).
+// runCompare implements `benchjson compare old.json new.json`. By
+// default the error return covers unusable inputs only — regressions
+// never fail the run (report-only). With -fail, regressions whose
+// benchmark name matches -match (default: every benchmark) turn the
+// exit status hard: CI uses it to enforce that the figure benchmarks
+// never fall behind a committed baseline.
 func runCompare(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 10, "report metrics that moved by at least this percent")
 	jsonOut := fs.Bool("json", false, "emit the report as JSON instead of text")
+	failOn := fs.Bool("fail", false, "exit non-zero when regressions are found (hard gate)")
+	match := fs.String("match", "", "with -fail, only regressions in benchmarks matching this regexp are fatal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: benchjson compare [-threshold PCT] [-json] old.json new.json")
+		return fmt.Errorf("usage: benchjson compare [-threshold PCT] [-json] [-fail [-match REGEX]] old.json new.json")
 	}
 	if *threshold <= 0 {
 		return fmt.Errorf("threshold must be positive, got %v", *threshold)
+	}
+	var matchRE *regexp.Regexp
+	if *match != "" {
+		var err error
+		if matchRE, err = regexp.Compile(*match); err != nil {
+			return fmt.Errorf("bad -match regexp: %w", err)
+		}
 	}
 	oldPath, newPath := fs.Arg(0), fs.Arg(1)
 	oldE, err := loadEntries(oldPath)
@@ -176,8 +189,22 @@ func runCompare(args []string, stdout, stderr io.Writer) error {
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		writeCompare(stdout, oldPath, newPath, rep)
 	}
-	writeCompare(stdout, oldPath, newPath, rep)
+	if *failOn {
+		fatal := 0
+		for _, d := range rep.Regressions {
+			if matchRE == nil || matchRE.MatchString(d.Name) {
+				fatal++
+			}
+		}
+		if fatal > 0 {
+			return fmt.Errorf("%d regression(s) beyond ±%.0f%% vs %s", fatal, *threshold, oldPath)
+		}
+	}
 	return nil
 }

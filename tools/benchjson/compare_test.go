@@ -86,6 +86,36 @@ func TestRunCompareReportOnly(t *testing.T) {
 	}
 }
 
+// TestRunCompareFail: -fail turns matching regressions into a hard
+// non-zero exit; -match scopes which benchmarks can trip it.
+func TestRunCompareFail(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	// The fixture pair has regressions in BenchmarkRunScenario (ns/op)
+	// and BenchmarkZeroAlloc (allocs/op from zero) — with -fail both
+	// are fatal.
+	err := runCompare([]string{"-threshold", "10", "-fail", fixture("old.json"), fixture("new.json")}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Errorf("-fail on a regressed pair returned %v, want regression error", err)
+	}
+	// The report still prints before the gate trips.
+	if !strings.Contains(out.String(), "REGRESSIONS") {
+		t.Errorf("-fail suppressed the report:\n%s", out.String())
+	}
+
+	// A -match that selects no regressed benchmark passes.
+	if err := runCompare([]string{"-fail", "-match", "^BenchmarkSweepTable6$", fixture("old.json"), fixture("new.json")}, &out, &errBuf); err != nil {
+		t.Errorf("-fail with non-matching -match failed: %v", err)
+	}
+	// A -match that selects a regressed benchmark fails.
+	if err := runCompare([]string{"-fail", "-match", "^BenchmarkRunScenario$", fixture("old.json"), fixture("new.json")}, &out, &errBuf); err == nil {
+		t.Error("-fail with matching -match passed, want regression error")
+	}
+	// Bad regexps are usage errors.
+	if err := runCompare([]string{"-fail", "-match", "(", fixture("old.json"), fixture("new.json")}, &out, &errBuf); err == nil {
+		t.Error("invalid -match regexp accepted, want error")
+	}
+}
+
 // TestRunCompareJSON: the -json form emits the structured report.
 func TestRunCompareJSON(t *testing.T) {
 	var out, errBuf bytes.Buffer

@@ -6,16 +6,18 @@
 //
 // Usage:
 //
-//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR5.json
-//	go run ./tools/benchjson compare [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR5.json
-//	go run ./tools/benchjson trend [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR4.json BENCH_PR5.json
+//	go test -bench . -benchmem -run '^$' . | go run ./tools/benchjson > BENCH_PR8.json
+//	go run ./tools/benchjson compare [-threshold PCT] [-json] [-fail [-match REGEX]] BENCH_PR3.json BENCH_PR8.json
+//	go run ./tools/benchjson trend [-threshold PCT] [-json] BENCH_PR3.json BENCH_PR5.json BENCH_PR8.json
 //
 // compare diffs one snapshot pair; trend fits a per-step slope across
 // N snapshots (oldest first) so slow drifts surface, not just step
-// regressions. Both are report-only (the ROADMAP's fail-soft
-// contract): they print movements beyond the threshold and exit
-// non-zero only when a snapshot is unreadable — never because a metric
-// moved.
+// regressions. Both are report-only by default: they print movements
+// beyond the threshold and exit non-zero only when a snapshot is
+// unreadable. compare -fail turns regressions (optionally restricted
+// to benchmarks matching -match) into a hard non-zero exit — the gate
+// CI runs against the committed baseline so a figure benchmark can
+// never quietly fall behind it.
 package main
 
 import (
