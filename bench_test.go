@@ -223,6 +223,49 @@ func BenchmarkRunScenario(b *testing.B) {
 	b.ReportMetric(last.ThroughputBPS, "channel_bps")
 }
 
+// benchedChannelKinds lists every channel kind with a per-kind scenario
+// benchmark. TestBenchmarkSpecsValidate enforces the bijection against
+// the kind registry, so adding a channel family without extending the
+// perf trajectory (or benchmarking a kind that no longer exists) breaks
+// the test step, not the bench step.
+var benchedChannelKinds = map[string]bool{
+	"thread":   true,
+	"smt":      true,
+	"cores":    true,
+	"retire":   true,
+	"clockmod": true,
+}
+
+// benchScenarioKind measures one 16-bit transmission of the given
+// channel kind end to end through the declarative entry point.
+func benchScenarioKind(b *testing.B, kind string) {
+	if !benchedChannelKinds[kind] {
+		b.Fatalf("kind %s is not in benchedChannelKinds", kind)
+	}
+	var last *ichannels.ScenarioResult
+	for i := 0; i < b.N; i++ {
+		res, err := ichannels.RunScenario(context.Background(), ichannels.Scenario{
+			Role: "channel", Kind: kind, Bits: 16, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.ThroughputBPS, "channel_bps")
+	b.ReportMetric(last.BER, "ber")
+}
+
+func BenchmarkScenarioKindThread(b *testing.B) { benchScenarioKind(b, "thread") }
+
+func BenchmarkScenarioKindSMT(b *testing.B) { benchScenarioKind(b, "smt") }
+
+func BenchmarkScenarioKindCores(b *testing.B) { benchScenarioKind(b, "cores") }
+
+func BenchmarkScenarioKindRetire(b *testing.B) { benchScenarioKind(b, "retire") }
+
+func BenchmarkScenarioKindClockMod(b *testing.B) { benchScenarioKind(b, "clockmod") }
+
 // batch16Specs is the fixed heterogeneous 16-scenario batch
 // (4 processors × {cross-core channel, same-thread channel, cross-core
 // spy, NetSpectre baseline}) BenchmarkRunScenariosBatch16 runs and
@@ -387,6 +430,23 @@ func TestBenchmarkSpecsValidate(t *testing.T) {
 	for id := range registered {
 		if _, ok := benchedExperiments[id]; !ok {
 			t.Errorf("registered experiment %q has no benchmark (add it to benchedExperiments)", id)
+		}
+	}
+
+	// Channel-kind bijection: every registered kind is benchmarked and
+	// every benchmarked kind is registered, with a spec that validates.
+	for _, k := range ichannels.ChannelKindNames() {
+		if !benchedChannelKinds[k] {
+			t.Errorf("registered channel kind %q has no benchmark (add it to benchedChannelKinds)", k)
+		}
+	}
+	for k := range benchedChannelKinds {
+		if ichannels.ChannelKindDescribe(k) == "" {
+			t.Errorf("benchmarked channel kind %q is not in the registry", k)
+			continue
+		}
+		if err := (ichannels.Scenario{Role: "channel", Kind: k, Bits: 16}).Validate(); err != nil {
+			t.Errorf("kind %q bench spec: %v", k, err)
 		}
 	}
 

@@ -112,7 +112,7 @@ func usage() {
                                       -worker adds POST /v1/cells, the distributed sweep cell endpoint;
                                       -share adds GET/PUT /v1/store/{key} + GET /v1/store, so other
                                       processes can use this corpus via -store http://HOST:PORT)
-  ichannels demo [-kind thread|smt|cores] [-msg S] [-seed N]
+  ichannels demo [-kind thread|smt|cores|retire|clockmod] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
 }
@@ -752,7 +752,8 @@ func runExp(args []string) error {
 
 func demo(args []string) error {
 	fs := flag.NewFlagSet("demo", flag.ContinueOnError)
-	kindName := fs.String("kind", "cores", "channel kind: thread, smt, or cores")
+	kindName := fs.String("kind", "cores",
+		"channel kind: "+strings.Join(ichannels.ChannelKindNames(), ", "))
 	msg := fs.String("msg", "IChannels", "message to exfiltrate")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	if err := fs.Parse(args); err != nil {
@@ -767,7 +768,13 @@ func demo(args []string) error {
 	case "cores":
 		kind = ichannels.CrossCore
 	default:
-		return fmt.Errorf("demo: unknown kind %q", *kindName)
+		if ichannels.ChannelKindDescribe(*kindName) != "" {
+			// An adopted family (retire, clockmod): run it through the
+			// scenario path, which knows how to build and decode it.
+			return demoScenario(*kindName, *msg, *seed)
+		}
+		return fmt.Errorf("demo: unknown kind %q (%s)", *kindName,
+			strings.Join(ichannels.ChannelKindNames(), ", "))
 	}
 
 	proc := ichannels.CannonLake8121U()
@@ -806,6 +813,31 @@ func demo(args []string) error {
 	fmt.Printf("sent %d bits in %v (%.0f b/s raw, channel BER %.4f, %d bits ECC-corrected)\n",
 		len(frame), res.Elapsed, res.ThroughputBPS, res.BER, corrected)
 	fmt.Printf("exfiltrated message: %q\n", string(payload))
+	return nil
+}
+
+// demoScenario exfiltrates the message over a registry channel family
+// (retire, clockmod) via the declarative scenario path.
+func demoScenario(kind, msg string, seed int64) error {
+	res, err := ichannels.RunScenario(context.Background(), ichannels.Scenario{
+		Role:    "channel",
+		Kind:    kind,
+		Payload: msg,
+		Seed:    seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s; %s): calibration gap %.0f cycles\n",
+		kind, ichannels.ChannelKindDescribe(kind), ichannels.ChannelKindSource(kind),
+		res.Extra["calibration_gap_cycles"])
+	fmt.Printf("sent %d bits in %.0f µs (%.0f b/s raw, channel BER %.4f)\n",
+		res.Bits, res.ElapsedSimUS, res.ThroughputBPS, res.BER)
+	if res.DecodedPayload != "" {
+		fmt.Printf("exfiltrated message: %q\n", res.DecodedPayload)
+	} else {
+		fmt.Printf("message not recovered (notes: %v)\n", res.Notes)
+	}
 	return nil
 }
 

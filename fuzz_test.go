@@ -41,6 +41,9 @@ func FuzzParseSpecs(f *testing.F) {
 	f.Add([]byte(`[{"role":"spy"},{"role":"experiment","experiment":"fig6a","seed":3}]`))
 	f.Add([]byte(`{"role":"mitigation-eval","mitigation":"per-core-vr","kind":"thread","processor":"coffee lake"}`))
 	f.Add([]byte(`{"role":"baseline","baseline":"turbocc","params":{"freq_ghz":3.5}}`))
+	f.Add([]byte(`{"role":"channel","kind":"retire","bits":32,"params":{"slot_period_us":40,"sender_iters":8}}`))
+	f.Add([]byte(`{"role":"channel","kind":"clockmod","payload":"hi","noise":{"tsc_jitter_cycles":150}}`))
+	f.Add([]byte(`{"role":"mitigation-eval","kind":"clockmod","mitigation":"securemode","bits":16}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		specs, isArray, err := ichannels.ParseScenarioSpecs(data)
 		if err != nil {
@@ -152,6 +155,8 @@ func FuzzParseSweep(f *testing.F) {
 	seedFromSpecs(f, "examples/sweeps/specs/*.json")
 	f.Add([]byte(`{"base":{"role":"channel","kind":"cores"},"axes":{"bits":[4,8],"processor":["Haswell"]}}`))
 	f.Add([]byte(`{"base":{"role":"mitigation-eval"},"axes":{"kind":["smt","cores"]},"filters":[{"kind":"smt"}],"group_by":["kind"],"max_cells":10}`))
+	f.Add([]byte(`{"base":{"role":"channel","bits":16},"axes":{"kind":["thread","smt","cores","retire","clockmod"]},"group_by":["kind"]}`))
+	f.Add([]byte(`{"base":{"role":"mitigation-eval"},"axes":{"kind":["retire","clockmod"],"mitigation":["none","secure-mode"]}}`))
 	f.Add([]byte(`{"base":{"role":"channel"},"axes":{"bits":[2,4,6,8]},"group_by":["bits"],"refine":{"stride":{"bits":2},"threshold":0.1}}`))
 	f.Add([]byte(`{"base":{"role":"channel"},"axes":{"bits":[2,4,6]},"refine":{"metric":"THROUGHPUT_BPS","stride":{"BITS":2},"threshold":0.5,"max_passes":2,"max_cells_per_pass":3}}`))
 	f.Add([]byte(`{"base":{"role":"channel"},"axes":{"bits":[2,4]},"refine":{"stride":{"noise":-1},"threshold":0}}`))

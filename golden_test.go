@@ -99,6 +99,46 @@ func TestGoldenTable6Aggregate(t *testing.T) {
 	compareGolden(t, filepath.Join("testdata", "golden", "table6_aggregate.json"), indented(t, res.Aggregate))
 }
 
+// TestGoldenCrossFamily pins the result envelopes of one retire and one
+// clockmod transmission (the adopted channel families) and the grouped
+// aggregate of the 20-cell cross-family sweep — every kind × every
+// mitigation — at base seed 1. Any drift in the new families' decode or
+// their wire format fails here byte for byte.
+func TestGoldenCrossFamily(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("examples", "scenarios", "specs", "crossfamily.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, _, err := ichannels.ParseScenarioSpecs(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*ichannels.ScenarioResult, len(specs))
+	for i, s := range specs {
+		if results[i], err = ichannels.RunScenario(context.Background(), s); err != nil {
+			t.Fatalf("%s: %v", s.Describe(), err)
+		}
+	}
+	compareGolden(t, filepath.Join("testdata", "golden", "crossfamily_results.json"), indented(t, results))
+
+	sweepData, err := os.ReadFile(filepath.Join("examples", "sweeps", "specs", "crossfamily_kind_mitigation.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := ichannels.ParseSweepSpec(sweepData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ichannels.RunSweep(context.Background(), sw, ichannels.SweepOptions{BaseSeed: 1, Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 20 || res.Failed != 0 {
+		t.Fatalf("cross-family grid ran %d cells (%d failed), want 20/0", len(res.Cells), res.Failed)
+	}
+	compareGolden(t, filepath.Join("testdata", "golden", "crossfamily_aggregate.json"), indented(t, res.Aggregate))
+}
+
 // TestGoldenFig14RefinedAggregate pins the adaptive noise sweep's
 // aggregate and refinement record at base seed 1 — both the wire shape
 // of the refined trailing envelope and the controller's deterministic

@@ -370,6 +370,28 @@ func AllExperimentScenarios() []Scenario { return scenario.AllExperiments() }
 // (the payload of GET /v1/scenarios/schema).
 func ScenarioSchemaJSON() []byte { return scenario.SchemaJSON() }
 
+// ChannelKindNames returns every registered channel kind in canonical
+// order — the paper's three variants plus the adopted families — all
+// valid for scenario roles channel and mitigation-eval.
+func ChannelKindNames() []string { return scenario.ChannelKindNames() }
+
+// SpyKindNames returns the channel kinds the spy role accepts.
+func SpyKindNames() []string { return scenario.SpyKindNames() }
+
+// BaselineNames returns every registered baseline channel name.
+func BaselineNames() []string { return scenario.BaselineNames() }
+
+// MitigationNames returns every canonical mitigation name.
+func MitigationNames() []string { return scenario.MitigationNames() }
+
+// ChannelKindSource returns the source-paper citation for a registered
+// channel kind ("" for unknown names).
+func ChannelKindSource(kind string) string { return scenario.KindSource(kind) }
+
+// ChannelKindDescribe returns the one-line description of a registered
+// channel kind ("" for unknown names).
+func ChannelKindDescribe(kind string) string { return scenario.KindDescribe(kind) }
+
 // ParseScenarioSpecs parses a JSON spec payload — one scenario object
 // or a non-empty array — rejecting unknown fields and trailing data.
 // The CLI and the HTTP v1 layer share this decoder, so a spec that one

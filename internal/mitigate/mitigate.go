@@ -120,11 +120,27 @@ func MachineOptions(k Kind, p model.Processor, seed int64) soc.Options {
 	return opts
 }
 
+// Channel is the mitigation evaluator's view of a covert channel:
+// calibrate a decision threshold (returning the observed signal gap in
+// cycles), then transmit a bit stream. *core.Channel is adapted to it
+// below; the channels package's families implement it via small wrappers
+// in internal/scenario.
+type Channel interface {
+	Calibrate(reps int) (gap float64, err error)
+	Transmit(bits []int) (ber, bps float64, err error)
+}
+
+// Factory builds a channel on an already-mitigated machine.
+type Factory func(m *soc.Machine) (Channel, error)
+
 // Assessment is the outcome of one (mitigation, channel) cell of Table 1.
 type Assessment struct {
 	Mitigation Kind
 	Channel    core.Kind
-	Verdict    Verdict
+	// ChannelName names the channel family (core.Kind strings for the
+	// paper's variants, the scenario kind for registry channels).
+	ChannelName string
+	Verdict     Verdict
 	// BER is the measured bit error rate (0.5 ≈ chance when the channel
 	// is dead; reported even when calibration failed, as 0.5).
 	BER float64
@@ -153,6 +169,49 @@ func Evaluate(k Kind, chKind core.Kind, proc model.Processor, nBits int, seed in
 // either way — recycled machines replay byte-identically — so the pool
 // only changes wall-clock.
 func EvaluatePooled(pool *soc.Pool, k Kind, chKind core.Kind, proc model.Processor, nBits int, seed int64) (*Assessment, error) {
+	a, err := EvaluateChannelPooled(pool, k, chKind.String(), proc, nBits, 8, seed,
+		func(m *soc.Machine) (Channel, error) {
+			ch, err := core.New(m, core.DefaultParams(chKind, proc))
+			if err != nil {
+				return nil, err
+			}
+			return coreChannel{ch}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	a.Channel = chKind
+	return a, nil
+}
+
+// coreChannel adapts *core.Channel (the paper's multi-level channel) to
+// the evaluator's Channel interface.
+type coreChannel struct{ ch *core.Channel }
+
+func (c coreChannel) Calibrate(reps int) (float64, error) {
+	cal, err := c.ch.Calibrate(reps)
+	if err != nil {
+		return 0, err
+	}
+	return cal.Gap, nil
+}
+
+func (c coreChannel) Transmit(bits []int) (float64, float64, error) {
+	res, err := c.ch.Transmit(bits)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.BER, res.ThroughputBPS, nil
+}
+
+// EvaluateChannelPooled grades an arbitrary channel family against a
+// mitigation: build the mitigated machine, construct the channel on it,
+// calibrate (failure means the mitigation killed the signal), transmit a
+// pseudo-random payload, and grade the error rate. The operation order —
+// acquire, construct, calibrate, then draw payload bits from the machine's
+// RNG — is part of the determinism contract: recycled machines replay it
+// byte-identically.
+func EvaluateChannelPooled(pool *soc.Pool, k Kind, name string, proc model.Processor, nBits, calibReps int, seed int64, f Factory) (*Assessment, error) {
 	if nBits <= 0 || nBits%2 != 0 {
 		return nil, fmt.Errorf("mitigate: nBits must be positive and even, got %d", nBits)
 	}
@@ -161,40 +220,40 @@ func EvaluatePooled(pool *soc.Pool, k Kind, chKind core.Kind, proc model.Process
 		return nil, err
 	}
 	defer pool.Release(m)
-	ch, err := core.New(m, core.DefaultParams(chKind, proc))
+	ch, err := f(m)
 	if err != nil {
 		return nil, err
 	}
-	a := &Assessment{Mitigation: k, Channel: chKind}
+	a := &Assessment{Mitigation: k, ChannelName: name}
 
-	cal, err := ch.Calibrate(8)
+	gap, err := ch.Calibrate(calibReps)
 	if err != nil {
-		// No usable multi-level signal at all.
+		// No usable signal at all.
 		a.Verdict = Mitigated
 		a.BER = 0.5
 		return a, nil
 	}
-	a.CalibrationGap = cal.Gap
+	a.CalibrationGap = gap
 
 	bits := make([]int, nBits)
 	rng := m.Rand()
 	for i := range bits {
 		bits[i] = rng.Intn(2)
 	}
-	res, err := ch.Transmit(bits)
+	ber, bps, err := ch.Transmit(bits)
 	if err != nil {
 		return nil, err
 	}
-	a.BER = res.BER
+	a.BER = ber
 	switch {
-	case res.BER >= berDead:
+	case ber >= berDead:
 		a.Verdict = Mitigated
-	case res.BER > berPartial:
+	case ber > berPartial:
 		a.Verdict = Partial
-		a.EffectiveBPS = res.ThroughputBPS * (1 - res.BER)
+		a.EffectiveBPS = bps * (1 - ber)
 	default:
 		a.Verdict = Unaffected
-		a.EffectiveBPS = res.ThroughputBPS * (1 - res.BER)
+		a.EffectiveBPS = bps * (1 - ber)
 	}
 	return a, nil
 }

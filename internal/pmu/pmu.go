@@ -21,6 +21,7 @@ type Core interface {
 	DowngradeLicense(c isa.Class, now units.Time)
 	SetFrequency(f units.Hertz, now units.Time)
 	SetHalted(h bool, now units.Time)
+	SetDutyCycle(d float64, now units.Time)
 }
 
 // Config describes the central PMU.
@@ -335,6 +336,23 @@ func (p *PMU) SetRequestedFrequency(f units.Hertz) {
 	// subject to the protection hold-off.
 	p.lastDownshift = longAgo
 	p.maybeRestoreFrequency(p.q.Now())
+}
+
+// SetClockDuty programs the package-wide clock-modulation duty cycle — the
+// hardware-visible effect of writing IA32_CLOCK_MODULATION (T-states). The
+// front-end of every core delivers uops only in the on fraction d of cycles;
+// d == 1 disables modulation. Unlike frequency changes this takes effect
+// immediately: no PLL relock, no protective hold-off — which is exactly why
+// duty cycling makes a faster covert-channel carrier than DVFS.
+func (p *PMU) SetClockDuty(d float64) {
+	p.mustInit()
+	if d <= 0 || d > 1 {
+		panic(fmt.Sprintf("pmu: clock duty %v outside (0,1]", d))
+	}
+	now := p.q.Now()
+	for _, c := range p.cores {
+		c.SetDutyCycle(d, now)
+	}
 }
 
 // SetSecure enables or disables secure mode (mitigation 3): the voltage is

@@ -22,6 +22,7 @@ type fakeCore struct {
 	freq       units.Hertz
 	halts      int
 	halted     bool
+	duty       float64
 }
 
 func (f *fakeCore) ID() int                { return f.id }
@@ -35,6 +36,7 @@ func (f *fakeCore) DowngradeLicense(c isa.Class, now units.Time) {
 	f.downgrades = append(f.downgrades, c)
 }
 func (f *fakeCore) SetFrequency(fr units.Hertz, now units.Time) { f.freq = fr }
+func (f *fakeCore) SetDutyCycle(d float64, now units.Time)      { f.duty = d }
 func (f *fakeCore) SetHalted(h bool, now units.Time) {
 	f.halted = h
 	if h {
@@ -92,6 +94,30 @@ func newTestPMU(t *testing.T, cfg Config, ncores int) (*PMU, *sched.Queue, []*fa
 		t.Fatal(err)
 	}
 	return p, q, fakes
+}
+
+func TestSetClockDutyFansOut(t *testing.T) {
+	p, _, fakes := newTestPMU(t, testConfig(), 2)
+	p.SetClockDuty(0.25)
+	for i, f := range fakes {
+		if f.duty != 0.25 {
+			t.Fatalf("core %d duty = %g, want 0.25", i, f.duty)
+		}
+	}
+	p.SetClockDuty(1)
+	if fakes[0].duty != 1 {
+		t.Fatalf("duty = %g after restore", fakes[0].duty)
+	}
+	for _, d := range []float64{0, -1, 1.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("duty %g accepted", d)
+				}
+			}()
+			p.SetClockDuty(d)
+		}()
+	}
 }
 
 func TestGuardbandValidate(t *testing.T) {

@@ -1,0 +1,274 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"ichannels/internal/baselines"
+	"ichannels/internal/core"
+	"ichannels/internal/mitigate"
+	"ichannels/internal/model"
+	"ichannels/internal/soc"
+)
+
+// This file is the single registry for every enum the Scenario spec
+// exposes: channel kinds, baselines, and mitigations. Validate, the
+// schema endpoint, Describe's error vocabulary, sweep axis validation,
+// and the run dispatchers all read from these tables — adding an entry
+// here is the whole job of adding a kind, and nothing else in the
+// package may hand-list the names (registry_test.go enforces that the
+// schema enums, the validate acceptance set, and these keys agree).
+
+// kindSpec is one registered channel kind: its preconditions, defaults,
+// and the two executors (role channel, and role mitigation-eval).
+type kindSpec struct {
+	name string
+	// describe is a one-line description for docs and CLI help; source
+	// cites the design the family reproduces.
+	describe string
+	source   string
+	// spyRole marks kinds the spy role accepts (every registered kind
+	// is valid for roles channel and mitigation-eval).
+	spyRole bool
+	// requiresSMT / minCores are the topology preconditions Validate
+	// enforces against the processor profile and params.cores.
+	requiresSMT bool
+	minCores    int
+	// defaultBits / defaultCalibReps apply when the spec leaves the
+	// fields zero.
+	defaultBits      int
+	defaultCalibReps int
+	// noSenderIters rejects the params.sender_iters override for kinds
+	// whose sender is a software actor with no loop length.
+	noSenderIters bool
+	// coreKind is the paper-variant enum for kinds backed by
+	// core.Channel (hasCore false for the channels-package families).
+	hasCore  bool
+	coreKind core.Kind
+	// run executes role channel for this kind.
+	run func(ctx context.Context, n Scenario, seed int64, res *Result, pool *soc.Pool) error
+	// evalMitigation grades the kind under one defense.
+	evalMitigation func(pool *soc.Pool, mk mitigate.Kind, proc model.Processor, nBits int, seed int64) (*mitigate.Assessment, error)
+}
+
+// New channel-family kind names (the paper's three are declared in
+// scenario.go).
+const (
+	KindRetire   = "retire"
+	KindClockMod = "clockmod"
+)
+
+// kindRegistry lists every channel kind in canonical (documentation)
+// order: the paper's three variants, then the adopted families.
+var kindRegistry = []*kindSpec{
+	{
+		name:             KindThread,
+		describe:         "same-thread multi-level current channel (IccThreadCovert)",
+		source:           "IChannels, ISCA'21",
+		defaultBits:      64,
+		defaultCalibReps: 6,
+		hasCore:          true,
+		coreKind:         core.SameThread,
+		run:              runCoreKind(core.SameThread),
+		evalMitigation:   evalCoreKind(core.SameThread),
+	},
+	{
+		name:             KindSMT,
+		describe:         "SMT-sibling multi-level current channel (IccSMTcovert)",
+		source:           "IChannels, ISCA'21",
+		spyRole:          true,
+		requiresSMT:      true,
+		defaultBits:      64,
+		defaultCalibReps: 6,
+		hasCore:          true,
+		coreKind:         core.SMT,
+		run:              runCoreKind(core.SMT),
+		evalMitigation:   evalCoreKind(core.SMT),
+	},
+	{
+		name:             KindCores,
+		describe:         "cross-core multi-level current channel (IccCoresCovert)",
+		source:           "IChannels, ISCA'21",
+		spyRole:          true,
+		minCores:         2,
+		defaultBits:      64,
+		defaultCalibReps: 6,
+		hasCore:          true,
+		coreKind:         core.CrossCore,
+		run:              runCoreKind(core.CrossCore),
+		evalMitigation:   evalCoreKind(core.CrossCore),
+	},
+	{
+		name:             KindRetire,
+		describe:         "retirement-stage SMT contention, decoded from the receiver's own cycle counter",
+		source:           "arXiv 2307.12486",
+		requiresSMT:      true,
+		defaultBits:      64,
+		defaultCalibReps: 6,
+		run:              runRetire,
+		evalMitigation:   evalRetireMitigation,
+	},
+	{
+		name:             KindClockMod,
+		describe:         "clock-modulation (T-state duty cycle) carrier with windowed timing decode",
+		source:           "arXiv 2404.05823",
+		minCores:         2,
+		defaultBits:      32,
+		defaultCalibReps: 4,
+		noSenderIters:    true,
+		run:              runClockMod,
+		evalMitigation:   evalClockModMitigation,
+	},
+}
+
+// baselineSpec is one registered comparison channel.
+type baselineSpec struct {
+	name             string
+	defaultBits      int
+	defaultCalibReps int
+	minCores         int
+	construct        func(m *soc.Machine) (baselineChannel, error)
+}
+
+var baselineRegistry = []*baselineSpec{
+	{BaselineNetSpectre, 64, 6, 0,
+		func(m *soc.Machine) (baselineChannel, error) { return baselines.NewNetSpectre(m) }},
+	{BaselineTurboCC, 12, 3, 2,
+		func(m *soc.Machine) (baselineChannel, error) { return baselines.NewTurboCC(m) }},
+	{BaselineDFScovert, 10, 3, 2,
+		func(m *soc.Machine) (baselineChannel, error) { return baselines.NewDFScovert(m) }},
+	{BaselinePowerT, 24, 4, 2,
+		func(m *soc.Machine) (baselineChannel, error) { return baselines.NewPowerT(m) }},
+}
+
+// mitigationSpec maps a canonical mitigation name (plus accepted alias
+// spellings) to the mitigate enum.
+type mitigationSpec struct {
+	name    string
+	kind    mitigate.Kind
+	aliases []string
+}
+
+var mitigationRegistry = []*mitigationSpec{
+	{MitigationNone, mitigate.None, nil},
+	{MitigationPerCoreVR, mitigate.PerCoreVR, []string{"per-core-vr", "percorevr"}},
+	{MitigationImprovedThrottling, mitigate.ImprovedThrottling, nil},
+	{MitigationSecureMode, mitigate.SecureMode, []string{"securemode"}},
+}
+
+// Lookup maps, built once from the tables above.
+var (
+	kindByName       = map[string]*kindSpec{}
+	baselineByName   = map[string]*baselineSpec{}
+	mitigationByName = map[string]*mitigationSpec{}
+	// mitigationAliases folds accepted spellings onto the canonical
+	// names (identity entries included, so Normalized can fold blindly).
+	mitigationAliases = map[string]string{}
+)
+
+func init() {
+	for _, ks := range kindRegistry {
+		kindByName[ks.name] = ks
+	}
+	for _, bs := range baselineRegistry {
+		baselineByName[bs.name] = bs
+	}
+	for _, ms := range mitigationRegistry {
+		mitigationByName[ms.name] = ms
+		mitigationAliases[ms.name] = ms.name
+		for _, a := range ms.aliases {
+			mitigationAliases[a] = ms.name
+		}
+	}
+}
+
+// ChannelKindNames returns every registered channel kind in canonical
+// order (all of them are valid for roles channel and mitigation-eval).
+func ChannelKindNames() []string {
+	out := make([]string, len(kindRegistry))
+	for i, ks := range kindRegistry {
+		out[i] = ks.name
+	}
+	return out
+}
+
+// SpyKindNames returns the kinds the spy role accepts, in canonical order.
+func SpyKindNames() []string {
+	var out []string
+	for _, ks := range kindRegistry {
+		if ks.spyRole {
+			out = append(out, ks.name)
+		}
+	}
+	return out
+}
+
+// BaselineNames returns every registered baseline in canonical order.
+func BaselineNames() []string {
+	out := make([]string, len(baselineRegistry))
+	for i, bs := range baselineRegistry {
+		out[i] = bs.name
+	}
+	return out
+}
+
+// MitigationNames returns every canonical mitigation name in order.
+func MitigationNames() []string {
+	out := make([]string, len(mitigationRegistry))
+	for i, ms := range mitigationRegistry {
+		out[i] = ms.name
+	}
+	return out
+}
+
+// KindSource returns the source-paper citation for a registered kind
+// ("" for unknown names) — surfaced by docs and CLI help.
+func KindSource(kind string) string {
+	if ks, ok := kindByName[kind]; ok {
+		return ks.source
+	}
+	return ""
+}
+
+// KindDescribe returns the one-line description for a registered kind
+// ("" for unknown names).
+func KindDescribe(kind string) string {
+	if ks, ok := kindByName[kind]; ok {
+		return ks.describe
+	}
+	return ""
+}
+
+// roleNames returns the role vocabulary in documentation order.
+func roleNames() []string {
+	return []string{RoleChannel, RoleBaseline, RoleSpy, RoleMitigation, RoleExperiment}
+}
+
+// bitsDefaultsDesc renders the registry's default payload sizes for the
+// schema's bits description (kinds, then the spy role, then baselines).
+func bitsDefaultsDesc() string {
+	var parts []string
+	for _, ks := range kindRegistry {
+		parts = append(parts, fmt.Sprintf("%s %d", ks.name, ks.defaultBits))
+	}
+	parts = append(parts, fmt.Sprintf("spy %d", defaultBits(RoleSpy, "", "")))
+	for _, bs := range baselineRegistry {
+		parts = append(parts, fmt.Sprintf("%s %d", bs.name, bs.defaultBits))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// orList renders names as an "a, b, or c" clause for error messages, so
+// every surface's vocabulary listing is generated from the registry.
+func orList(names []string) string {
+	switch len(names) {
+	case 0:
+		return ""
+	case 1:
+		return names[0]
+	case 2:
+		return names[0] + " or " + names[1]
+	}
+	return strings.Join(names[:len(names)-1], ", ") + ", or " + names[len(names)-1]
+}

@@ -47,7 +47,9 @@ const (
 	RoleExperiment = "experiment"
 )
 
-// Channel/spy kind names (the CLI's demo vocabulary).
+// Channel/spy kind names for the paper's three variants (the adopted
+// families' names live next to their registry entries in registry.go,
+// which is the authoritative list of every kind).
 const (
 	KindThread = "thread"
 	KindSMT    = "smt"
@@ -137,8 +139,10 @@ type Scenario struct {
 	// Processor names the simulated part (marketing or code name;
 	// default "Cannon Lake"). Unused for role "experiment".
 	Processor string `json:"processor,omitempty"`
-	// Kind is the channel variant: thread/smt/cores for channel and
-	// mitigation-eval (default cores), smt/cores for spy (default smt).
+	// Kind is the channel variant (see registry.go for the full list:
+	// thread/smt/cores plus the adopted retire and clockmod families).
+	// Any registered kind is valid for channel and mitigation-eval
+	// (default cores); the spy role takes smt/cores (default smt).
 	Kind string `json:"kind,omitempty"`
 	// Baseline names the comparison channel for role "baseline":
 	// netspectre, turbocc, dfscovert, or powert.
@@ -170,32 +174,21 @@ type Scenario struct {
 	Params *Params `json:"params,omitempty"`
 }
 
-// mitigationAliases folds accepted spellings onto the canonical names.
-var mitigationAliases = map[string]string{
-	"none":                MitigationNone,
-	"percore-vr":          MitigationPerCoreVR,
-	"per-core-vr":         MitigationPerCoreVR,
-	"percorevr":           MitigationPerCoreVR,
-	"improved-throttling": MitigationImprovedThrottling,
-	"secure-mode":         MitigationSecureMode,
-	"securemode":          MitigationSecureMode,
-}
-
-// defaultBits returns the per-role/baseline payload size used when the
-// spec gives neither Bits nor Payload. Slow baselines default smaller so
-// one scenario stays within a few simulated seconds.
-func defaultBits(role, baseline string) int {
+// defaultBits returns the per-role payload size used when the spec gives
+// neither Bits nor Payload, read from the kind/baseline registries (slow
+// carriers default smaller so one scenario stays within a few simulated
+// seconds). Unknown kind/baseline names keep the historical fallback so
+// normalization stays total; validate rejects them before anything runs.
+func defaultBits(role, kind, baseline string) int {
 	switch role {
-	case RoleBaseline:
-		switch baseline {
-		case BaselineTurboCC:
-			return 12
-		case BaselineDFScovert:
-			return 10
-		case BaselinePowerT:
-			return 24
+	case RoleChannel, RoleMitigation:
+		if ks, ok := kindByName[kind]; ok {
+			return ks.defaultBits
 		}
-		return 64
+	case RoleBaseline:
+		if bs, ok := baselineByName[baseline]; ok {
+			return bs.defaultBits
+		}
 	case RoleSpy:
 		return 32 // 16 observation windows × 2 bits per width class
 	case RoleExperiment:
@@ -204,19 +197,19 @@ func defaultBits(role, baseline string) int {
 	return 64
 }
 
-// defaultCalibReps returns the per-role calibration repetitions.
-func defaultCalibReps(role, baseline string) int {
+// defaultCalibReps returns the per-role calibration repetitions, read
+// from the kind/baseline registries (same unknown-name fallback rule as
+// defaultBits).
+func defaultCalibReps(role, kind, baseline string) int {
 	switch role {
-	case RoleBaseline:
-		switch baseline {
-		case BaselineTurboCC, BaselineDFScovert:
-			return 3
-		case BaselinePowerT:
-			return 4
+	case RoleChannel, RoleMitigation:
+		if ks, ok := kindByName[kind]; ok {
+			return ks.defaultCalibReps
 		}
-		return 6
-	case RoleSpy:
-		return 6
+	case RoleBaseline:
+		if bs, ok := baselineByName[baseline]; ok {
+			return bs.defaultCalibReps
+		}
 	}
 	return 6
 }
@@ -270,7 +263,7 @@ func (s Scenario) Normalized() Scenario {
 		n.Params = nil
 	}
 	if n.Bits == 0 && n.Payload == "" {
-		n.Bits = defaultBits(n.Role, n.Baseline)
+		n.Bits = defaultBits(n.Role, n.Kind, n.Baseline)
 	}
 	return n
 }
@@ -313,32 +306,29 @@ func (s Scenario) Describe() string {
 	return "scenario/" + n.Role
 }
 
-// channelKind maps a kind name to the core enum.
+// channelKind maps a registered kind name to the paper-variant core enum
+// (only the classic kinds have one; the spy path is the sole remaining
+// caller that needs it directly).
 func channelKind(kind string) (core.Kind, error) {
-	switch kind {
-	case KindThread:
-		return core.SameThread, nil
-	case KindSMT:
-		return core.SMT, nil
-	case KindCores:
-		return core.CrossCore, nil
+	if ks, ok := kindByName[kind]; ok && ks.hasCore {
+		return ks.coreKind, nil
 	}
-	return 0, fmt.Errorf("scenario: unknown channel kind %q (thread, smt, or cores)", kind)
+	return 0, errUnknownKind(kind)
 }
 
-// mitigationKind maps a mitigation name to the mitigate enum.
+// errUnknownKind is the shared unknown-channel-kind error, listing the
+// registry's vocabulary.
+func errUnknownKind(kind string) error {
+	return fmt.Errorf("scenario: unknown channel kind %q (%s)", kind, orList(ChannelKindNames()))
+}
+
+// mitigationKind maps a mitigation name to the mitigate enum via the
+// registry.
 func mitigationKind(name string) (mitigate.Kind, error) {
-	switch name {
-	case MitigationNone:
-		return mitigate.None, nil
-	case MitigationPerCoreVR:
-		return mitigate.PerCoreVR, nil
-	case MitigationImprovedThrottling:
-		return mitigate.ImprovedThrottling, nil
-	case MitigationSecureMode:
-		return mitigate.SecureMode, nil
+	if ms, ok := mitigationByName[name]; ok {
+		return ms.kind, nil
 	}
-	return 0, fmt.Errorf("scenario: unknown mitigation %q (none, percore-vr, improved-throttling, or secure-mode)", name)
+	return 0, fmt.Errorf("scenario: unknown mitigation %q (%s)", name, orList(MitigationNames()))
 }
 
 // Validate checks the spec for consistency. It normalizes first, so a
@@ -352,9 +342,9 @@ func (n Scenario) validate() error {
 	switch n.Role {
 	case RoleChannel, RoleBaseline, RoleSpy, RoleMitigation, RoleExperiment:
 	case "":
-		return fmt.Errorf("scenario: missing role (channel, baseline, spy, mitigation-eval, or experiment)")
+		return fmt.Errorf("scenario: missing role (%s)", orList(roleNames()))
 	default:
-		return fmt.Errorf("scenario: unknown role %q (channel, baseline, spy, mitigation-eval, or experiment)", n.Role)
+		return fmt.Errorf("scenario: unknown role %q (%s)", n.Role, orList(roleNames()))
 	}
 
 	if n.Role == RoleExperiment {
@@ -388,40 +378,37 @@ func (n Scenario) validate() error {
 
 	switch n.Role {
 	case RoleChannel, RoleMitigation:
-		kind, err := channelKind(n.Kind)
-		if err != nil {
-			return err
+		ks, ok := kindByName[n.Kind]
+		if !ok {
+			return errUnknownKind(n.Kind)
 		}
-		if kind == core.SMT && proc.SMTWays < 2 {
-			return fmt.Errorf("scenario: kind smt requires an SMT processor; %s has none", proc.CodeName)
+		if ks.requiresSMT && proc.SMTWays < 2 {
+			return fmt.Errorf("scenario: kind %s requires an SMT processor; %s has none", ks.name, proc.CodeName)
 		}
-		if kind == core.CrossCore && cores < 2 {
-			return fmt.Errorf("scenario: kind cores requires at least 2 cores (params.cores=%d)", cores)
+		if ks.minCores > 0 && cores < ks.minCores {
+			return fmt.Errorf("scenario: kind %s requires at least %d cores (params.cores=%d)", ks.name, ks.minCores, cores)
 		}
 	case RoleSpy:
-		switch n.Kind {
-		case KindSMT:
-			if proc.SMTWays < 2 {
-				return fmt.Errorf("scenario: spy kind smt requires an SMT processor; %s has none", proc.CodeName)
-			}
-		case KindCores:
-			if cores < 2 {
-				return fmt.Errorf("scenario: spy kind cores requires at least 2 cores (params.cores=%d)", cores)
-			}
-		default:
-			return fmt.Errorf("scenario: spy kind must be smt or cores, got %q", n.Kind)
+		ks, ok := kindByName[n.Kind]
+		if !ok || !ks.spyRole {
+			return fmt.Errorf("scenario: spy kind must be %s, got %q", orList(SpyKindNames()), n.Kind)
+		}
+		if ks.requiresSMT && proc.SMTWays < 2 {
+			return fmt.Errorf("scenario: spy kind %s requires an SMT processor; %s has none", ks.name, proc.CodeName)
+		}
+		if ks.minCores > 0 && cores < ks.minCores {
+			return fmt.Errorf("scenario: spy kind %s requires at least %d cores (params.cores=%d)", ks.name, ks.minCores, cores)
 		}
 	case RoleBaseline:
-		switch n.Baseline {
-		case BaselineNetSpectre:
-		case BaselineTurboCC, BaselineDFScovert, BaselinePowerT:
-			if cores < 2 {
-				return fmt.Errorf("scenario: baseline %s requires at least 2 cores (params.cores=%d)", n.Baseline, cores)
-			}
-		case "":
-			return fmt.Errorf("scenario: role baseline requires a baseline name (netspectre, turbocc, dfscovert, or powert)")
-		default:
-			return fmt.Errorf("scenario: unknown baseline %q (netspectre, turbocc, dfscovert, or powert)", n.Baseline)
+		if n.Baseline == "" {
+			return fmt.Errorf("scenario: role baseline requires a baseline name (%s)", orList(BaselineNames()))
+		}
+		bs, ok := baselineByName[n.Baseline]
+		if !ok {
+			return fmt.Errorf("scenario: unknown baseline %q (%s)", n.Baseline, orList(BaselineNames()))
+		}
+		if bs.minCores > 0 && cores < bs.minCores {
+			return fmt.Errorf("scenario: baseline %s requires at least %d cores (params.cores=%d)", bs.name, bs.minCores, cores)
 		}
 	}
 
@@ -494,6 +481,11 @@ func (n Scenario) validate() error {
 			(p.SlotPeriodUS != 0 || p.SenderIters != 0 || p.ReceiverIters != 0 || p.ReceiverOffsetUS != 0) {
 			return fmt.Errorf("scenario: params slot_period_us/sender_iters/receiver_iters/receiver_offset_us are only valid for role channel")
 		}
+		if n.Role == RoleChannel && p.SenderIters != 0 {
+			if ks, ok := kindByName[n.Kind]; ok && ks.noSenderIters {
+				return fmt.Errorf("scenario: params sender_iters is not valid for kind %s (its sender has no tuning loop)", n.Kind)
+			}
+		}
 		if n.Role == RoleMitigation && (p.FreqGHz != 0 || p.CalibReps != 0) {
 			return fmt.Errorf("scenario: mitigation-eval fixes its own operating point and calibration; only params.cores may be overridden")
 		}
@@ -522,5 +514,5 @@ func effectiveCalibReps(n Scenario) int {
 	if n.Params != nil && n.Params.CalibReps > 0 {
 		return n.Params.CalibReps
 	}
-	return defaultCalibReps(n.Role, n.Baseline)
+	return defaultCalibReps(n.Role, n.Kind, n.Baseline)
 }

@@ -26,6 +26,8 @@ func TestEveryRunPathReachable(t *testing.T) {
 		{json: `{"role":"channel","kind":"thread","bits":16}`, wantBits: true, wantExtra: "calibration_gap_cycles"},
 		{json: `{"role":"channel","kind":"smt","bits":16}`, wantBits: true},
 		{json: `{"role":"channel","kind":"cores","bits":16}`, wantBits: true},
+		{json: `{"role":"channel","kind":"retire","bits":16}`, wantBits: true, wantExtra: "calibration_gap_cycles"},
+		{json: `{"role":"channel","kind":"clockmod","bits":16}`, wantBits: true, wantExtra: "raw_throughput_bps"},
 		{json: `{"role":"baseline","baseline":"netspectre","processor":"Coffee Lake","bits":8}`, wantBits: true},
 		{json: `{"role":"baseline","baseline":"turbocc","bits":4}`, wantBits: true},
 		{json: `{"role":"baseline","baseline":"dfscovert","bits":4}`, wantBits: true},
@@ -34,6 +36,8 @@ func TestEveryRunPathReachable(t *testing.T) {
 		{json: `{"role":"spy","kind":"cores","bits":8}`, wantBits: true, wantExtra: "accuracy"},
 		{json: `{"role":"mitigation-eval","mitigation":"percore-vr","kind":"cores","bits":16}`, wantVerd: true},
 		{json: `{"role":"mitigation-eval","mitigation":"secure-mode","kind":"thread","bits":16}`, wantVerd: true},
+		{json: `{"role":"mitigation-eval","mitigation":"improved-throttling","kind":"retire","bits":16}`, wantVerd: true},
+		{json: `{"role":"mitigation-eval","mitigation":"none","kind":"clockmod","bits":16}`, wantVerd: true},
 		{json: `{"role":"experiment","experiment":"fig13"}`, wantRep: true},
 	}
 	for _, tc := range cases {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"ichannels/internal/exp"
 	"ichannels/internal/model"
@@ -94,12 +95,13 @@ func Schema() map[string]any {
 			"role": str("run path", RoleChannel, RoleBaseline, RoleSpy, RoleMitigation, RoleExperiment),
 			"processor": str("simulated part, marketing or code name (default \""+DefaultProcessor+"\")",
 				procs...),
-			"kind": str("channel variant: thread/smt/cores for channel and mitigation-eval (default cores), smt/cores for spy (default smt)",
-				KindThread, KindSMT, KindCores),
+			"kind": str("channel variant: "+strings.Join(ChannelKindNames(), "/")+" for channel and mitigation-eval (default "+KindCores+"), "+
+				strings.Join(SpyKindNames(), "/")+" for spy (default "+KindSMT+")",
+				ChannelKindNames()...),
 			"baseline": str("comparison channel for role baseline",
-				BaselineNetSpectre, BaselineTurboCC, BaselineDFScovert, BaselinePowerT),
-			"mitigation": str("defense for role mitigation-eval (default none)",
-				MitigationNone, MitigationPerCoreVR, MitigationImprovedThrottling, MitigationSecureMode),
+				BaselineNames()...),
+			"mitigation": str("defense for role mitigation-eval (default "+MitigationNone+")",
+				MitigationNames()...),
 			"experiment": str("registered experiment id for role experiment", exp.IDs()...),
 			"noise": map[string]any{
 				"type":        "object",
@@ -117,7 +119,7 @@ func Schema() map[string]any {
 					"interleave_depth": num("integer", "bit interleaver depth (default 7)"),
 				},
 			},
-			"bits":    num("integer", "pseudo-random payload bits, even, ≤ 8192 (role defaults: channel 64, spy 32, netspectre 64, turbocc 12, dfscovert 10, powert 24, mitigation-eval 64)"),
+			"bits":    num("integer", "pseudo-random payload bits, even, ≤ 8192 (defaults: "+bitsDefaultsDesc()+")"),
 			"payload": num("string", "literal payload instead of random bits (roles channel/baseline, ≤ 255 bytes)"),
 			"seed":    num("integer", "simulation seed; 0 means default (1 for single runs, derived from the batch base seed otherwise)"),
 			"params": map[string]any{
@@ -180,9 +182,9 @@ func SweepSchema() map[string]any {
 				"description": "grid dimensions; at least one non-empty. Expansion is deterministic: canonical axis order processor, kind, baseline, mitigation, bits, noise, coding, params, last axis varying fastest. A field used as an axis must be unset in the base.",
 				"properties": map[string]any{
 					"processor":  axisList(map[string]any{"type": "string"}, "processor names (marketing or code)"),
-					"kind":       axisList(map[string]any{"type": "string"}, "channel kinds"),
-					"baseline":   axisList(map[string]any{"type": "string"}, "baseline names"),
-					"mitigation": axisList(map[string]any{"type": "string"}, "mitigation names"),
+					"kind":       axisList(map[string]any{"type": "string"}, "channel kinds ("+strings.Join(ChannelKindNames(), "/")+"; each must be registered and valid for the base role)"),
+					"baseline":   axisList(map[string]any{"type": "string"}, "baseline names ("+strings.Join(BaselineNames(), "/")+")"),
+					"mitigation": axisList(map[string]any{"type": "string"}, "mitigation names ("+strings.Join(MitigationNames(), "/")+")"),
 					"bits":       axisList(map[string]any{"type": "integer"}, "payload sizes (positive, even)"),
 					"noise":      axisList(subObject("noise"), "noise environments"),
 					"coding":     axisList(subObject("coding"), "coding configurations"),

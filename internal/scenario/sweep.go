@@ -313,6 +313,34 @@ func (sw Sweep) validateStructure() (cells int, err error) {
 			}
 		}
 	}
+	// Enum axes are checked against the registries here, at parse time,
+	// so a typo or a kind the base role cannot run fails before any cell
+	// simulates (not |grid| cells into the sweep).
+	baseRole := strings.ToLower(strings.TrimSpace(sw.Base.Role))
+	for _, v := range sw.Axes.Kind {
+		ks, ok := kindByName[v]
+		if !ok {
+			return 0, fmt.Errorf("sweep: kind axis value %q is not a registered channel kind (%s)", v, orList(ChannelKindNames()))
+		}
+		switch baseRole {
+		case RoleSpy:
+			if !ks.spyRole {
+				return 0, fmt.Errorf("sweep: kind axis value %q is not valid for base role spy (spy kinds: %s)", v, orList(SpyKindNames()))
+			}
+		case RoleBaseline, RoleExperiment:
+			return 0, fmt.Errorf("sweep: a kind axis is not valid for base role %s", baseRole)
+		}
+	}
+	for _, v := range sw.Axes.Baseline {
+		if _, ok := baselineByName[v]; !ok {
+			return 0, fmt.Errorf("sweep: baseline axis value %q is not a registered baseline (%s)", v, orList(BaselineNames()))
+		}
+	}
+	for _, v := range sw.Axes.Mitigation {
+		if _, ok := mitigationByName[v]; !ok {
+			return 0, fmt.Errorf("sweep: mitigation axis value %q is not a registered mitigation (%s)", v, orList(MitigationNames()))
+		}
+	}
 	for _, b := range sw.Axes.Bits {
 		if b <= 0 {
 			return 0, fmt.Errorf("sweep: bits axis values must be positive, got %d", b)

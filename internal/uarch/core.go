@@ -189,6 +189,12 @@ type Core struct {
 
 	freq   units.Hertz
 	halted bool
+	// duty is the clock-modulation duty cycle in (0,1]: the fraction of
+	// cycles in which the front-end delivers uops (IA32_CLOCK_MODULATION
+	// T-states). 1 means unmodulated; the arithmetic below special-cases
+	// that value so an unmodulated core accrues bit-identically to a core
+	// built before duty cycling existed.
+	duty float64
 
 	throttled     bool
 	throttleSince units.Time
@@ -218,6 +224,7 @@ func NewCore(cfg Config, q *sched.Queue, cm CurrentManager) (*Core, error) {
 		cfg:     cfg,
 		q:       q,
 		cm:      cm,
+		duty:    1,
 		license: isa.Scalar64,
 		pending: noPending,
 	}
@@ -293,6 +300,22 @@ func (c *Core) SetHalted(h bool, now units.Time) {
 		return
 	}
 	c.repriceAll(now, func() { c.halted = h })
+}
+
+// DutyCycle returns the clock-modulation duty cycle (1 when unmodulated).
+func (c *Core) DutyCycle() float64 { return c.duty }
+
+// SetDutyCycle sets the clock-modulation duty cycle (called by the PMU when
+// software programs IA32_CLOCK_MODULATION). d must be in (0,1]; d == 1
+// restores full delivery.
+func (c *Core) SetDutyCycle(d float64, now units.Time) {
+	if d <= 0 || d > 1 {
+		panic(fmt.Sprintf("uarch: core %d: duty cycle %v outside (0,1]", c.cfg.ID, d))
+	}
+	if d == c.duty {
+		return
+	}
+	c.repriceAll(now, func() { c.duty = d })
 }
 
 // Throttled reports whether the IDQ throttle gate is engaged.
@@ -611,6 +634,11 @@ func (t *hwThread) accrue(now units.Time) {
 		default:
 			t.ctr.UndeliveredSlots += width * cycles * c.cfg.BaselineUndelivered
 		}
+		if c.duty < 1 {
+			// Clock modulation gates the front-end in the off fraction
+			// regardless of the thread's delivery state above.
+			t.ctr.UndeliveredSlots += width * cycles * (1 - c.duty)
+		}
 	}
 	if t.state == tsRunning && t.rate > 0 {
 		adv := t.rate * dt
@@ -637,6 +665,9 @@ func (t *hwThread) reprice(now units.Time) {
 	}
 	if c.throttleApplies(t) {
 		rate *= c.cfg.ThrottleFactor
+	}
+	if c.duty != 1 {
+		rate *= c.duty
 	}
 	if c.halted || t.preempted > 0 {
 		rate = 0
@@ -711,6 +742,7 @@ func (c *Core) Reset(cfg Config) error {
 	c.cfg = cfg
 	c.freq = 0
 	c.halted = false
+	c.duty = 1
 	c.throttled = false
 	c.throttleSince = 0
 	c.throttleTotal = 0

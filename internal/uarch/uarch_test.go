@@ -338,6 +338,49 @@ func TestFrequencyChangeMidKernel(t *testing.T) {
 	}
 }
 
+func TestDutyCycleSlowsRetirement(t *testing.T) {
+	c, q, _ := newTestCore(t, testCoreConfig(), 0)
+	var done units.Time
+	c.Start(0, isa.Loop64b, 100, func(now units.Time) { done = now }) // 10000 cycles
+	q.RunUntil(units.Time(units.Microsecond))                         // 2000 cycles done at 2 GHz
+	c.SetDutyCycle(0.25, q.Now())
+	q.Run(0)
+	// Remaining 8000 cycles at quarter duty = 4× wall time: 16 µs → 17 µs.
+	if got := units.Duration(done); got != 17*units.Microsecond {
+		t.Fatalf("elapsed %v, want 17µs", got)
+	}
+	// The off cycles count as undelivered slots, and unhalted cycles keep
+	// accruing at the unmodulated clock.
+	ctr := c.Counters(0, q.Now())
+	wantCycles := 17e-6 * 2e9
+	if math.Abs(ctr.UnhaltedCycles-wantCycles) > 1 {
+		t.Fatalf("unhalted cycles = %g, want %g", ctr.UnhaltedCycles, wantCycles)
+	}
+	frac := Counters{UnhaltedCycles: ctr.UnhaltedCycles - 2000, UndeliveredSlots: ctr.UndeliveredSlots}.UndeliveredFraction(4)
+	if frac < 0.7 {
+		t.Fatalf("modulated undelivered fraction = %g, want ≥0.75-ish", frac)
+	}
+	// Restoring duty 1 must be a clean no-op state.
+	c.SetDutyCycle(1, q.Now())
+	if c.DutyCycle() != 1 {
+		t.Fatalf("duty = %g after restore", c.DutyCycle())
+	}
+}
+
+func TestDutyCycleValidation(t *testing.T) {
+	c, q, _ := newTestCore(t, testCoreConfig(), 0)
+	for _, d := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("duty %g accepted", d)
+				}
+			}()
+			c.SetDutyCycle(d, q.Now())
+		}()
+	}
+}
+
 func TestDowngradeKeepsPendingThrottle(t *testing.T) {
 	c, q, _ := newTestCore(t, testCoreConfig(), -1) // never grant
 	c.Start(0, isa.Loop256Heavy, 10, nil)
