@@ -106,17 +106,20 @@ func startServe(t *testing.T, extra ...string) *workerProc {
 // distStats is the coordinator's `dist:` stderr summary line,
 // including the store-tier tallies appended after the semicolon.
 type distStats struct {
-	remote, redispatched, corrupt, localFallback int
-	storeHits, storeMisses, storeErrors          int
+	remote, redispatched, corrupt, localFallback           int
+	storeHits, storeMisses, storeTransient, storePermanent int
 }
+
+// storeErrors is the combined degraded-operation count, any class.
+func (ds distStats) storeErrors() int { return ds.storeTransient + ds.storePermanent }
 
 func parseDistStats(t *testing.T, stderr string) distStats {
 	t.Helper()
 	for _, ln := range strings.Split(stderr, "\n") {
 		var ds distStats
-		if _, err := fmt.Sscanf(ln, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback; store: %d hits, %d misses, %d errors",
+		if _, err := fmt.Sscanf(ln, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback; store: %d hits, %d misses, %d transient, %d permanent",
 			&ds.remote, &ds.redispatched, &ds.corrupt, &ds.localFallback,
-			&ds.storeHits, &ds.storeMisses, &ds.storeErrors); err == nil {
+			&ds.storeHits, &ds.storeMisses, &ds.storeTransient, &ds.storePermanent); err == nil {
 			return ds
 		}
 	}
@@ -177,7 +180,7 @@ func TestClusterConformance(t *testing.T) {
 	if ds.corrupt != 0 {
 		t.Errorf("dist stats %+v: healthy workers must produce zero verification rejections", ds)
 	}
-	if ds.storeHits != 0 || ds.storeMisses != 0 || ds.storeErrors != 0 {
+	if ds.storeHits != 0 || ds.storeMisses != 0 || ds.storeErrors() != 0 {
 		t.Errorf("dist stats %+v: a storeless coordinator must report zero store activity", ds)
 	}
 }

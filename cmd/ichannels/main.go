@@ -81,13 +81,16 @@ func usage() {
   ichannels exp <id>|all [-seed N]    regenerate paper figures/tables (serial)
   ichannels run [ids...] [--all] [-parallel N] [-seed N] [-json]
                                       batch experiments on a worker pool
-  ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]]
+  ichannels scenario run <spec.json...|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR|URL [-cache DIR] [-resume]]
                                       run declarative scenario spec(s) (object or array per file)
   ichannels scenario schema           print the scenario spec JSON schema
-  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR [-resume]] [-refine]
-                                     [-workers URL,URL,...]
+  ichannels sweep run <sweep.json|-> [-parallel N] [-seed N] [-json|-ndjson] [-store DIR|URL [-cache DIR] [-resume]]
+                                     [-refine] [-workers URL,URL,...]
                                       expand a parameter grid and run it (streaming, grouped aggregate;
                                       -store persists cells, -resume serves surviving cells from it;
+                                      with a remote -store URL, -cache DIR keeps a read-through replica:
+                                      local hits skip the network, remote hits are verified once and
+                                      kept, writes flush upstream asynchronously;
                                       a spec with a refine block runs adaptively — coarse pass, then
                                       only regions whose metric moves re-expand; -refine asserts one;
                                       -workers dispatches cells to 'serve -worker' nodes, with verified
@@ -101,17 +104,27 @@ func usage() {
                                       drop entries older than -max-age, then evict oldest until the
                                       corpus fits -max-bytes; pack migrates per-file -> packed segments
                                       in place, idempotent and crash-resumable)
+  ichannels store sync <dir> -to URL [-json]
+                                      push every local entry the remote corpus lacks (reconcile a
+                                      -cache replica after a partition, dropped flushes, or a remote
+                                      wipe; idempotent — deterministic results make pushes byte-stable)
   ichannels store bench [-n N] [-reads N] [-layout both|perfile|packed] [-dir DIR] [-json|-bench]
                                       fill a synthetic corpus and measure write throughput, warm-read
                                       latency, and gc time per layout (-bench emits go-bench lines)
-  ichannels serve [-addr HOST:PORT] [-store DIR|URL] [-worker] [-share]
+  ichannels serve [-addr HOST:PORT] [-store DIR|URL [-cache DIR]] [-worker] [-share]
+                  [-gc-every DUR [-max-age DUR] [-max-bytes N]]
                                       HTTP v1 API: GET /v1/experiments, GET /v1/scenarios/schema,
                                       POST /v1/scenarios, POST /v1/sweeps, GET /v1/sweeps/schema,
                                       GET /v1/stats (+ legacy /experiments, /run/{name};
                                       -store = durable result tier, either layout or a remote URL;
+                                      -cache layers a local read-through replica over a remote URL;
                                       -worker adds POST /v1/cells, the distributed sweep cell endpoint;
                                       -share adds GET/PUT /v1/store/{key} + GET /v1/store, so other
-                                      processes can use this corpus via -store http://HOST:PORT)
+                                      processes can use this corpus via -store http://HOST:PORT;
+                                      -gc-every runs server-side retention on a timer: corrupt and
+                                      expired entries dropped, oldest evicted to fit -max-bytes, and
+                                      oversized uploads rejected at the door; config + last report
+                                      are advertised on /v1/stats)
   ichannels demo [-kind thread|smt|cores|retire|clockmod] [-msg S] [-seed N]
   ichannels spy [-seed N]
   ichannels trace [-proc NAME] [-class C] [-ghz F] [-us D]  CSV Vcc/Icc/IPC trace`)
@@ -249,6 +262,7 @@ func scenarioRun(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit a machine-readable JSON batch instead of the comparison table")
 	ndjsonOut := fs.Bool("ndjson", false, "emit one JSON outcome per line (the HTTP v1 batch framing)")
 	storeDir := fs.String("store", "", "persist results to this store directory")
+	cacheDir := fs.String("cache", "", "with a remote -store URL, keep a local read-through replica cache in this directory")
 	resume := fs.Bool("resume", false, "serve scenarios the store already holds instead of recomputing them")
 	files, err := splitFilesAndFlags("scenario run", args, fs)
 	if err != nil {
@@ -260,7 +274,7 @@ func scenarioRun(args []string) error {
 	if *jsonOut && *ndjsonOut {
 		return errors.New("scenario run: give either -json or -ndjson, not both")
 	}
-	st, closeStore, err := openRunStore("scenario run", *storeDir, *resume)
+	st, closeStore, err := openRunStore("scenario run", *storeDir, *cacheDir, *resume)
 	if err != nil {
 		return err
 	}
@@ -376,6 +390,7 @@ func sweepRun(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable summary (cells + aggregate) instead of text")
 	ndjsonOut := fs.Bool("ndjson", false, "stream one JSON outcome per cell plus a final aggregate line (the HTTP v1 framing)")
 	storeDir := fs.String("store", "", "persist cell results to this store directory")
+	cacheDir := fs.String("cache", "", "with a remote -store URL, keep a local read-through replica cache in this directory")
 	resume := fs.Bool("resume", false, "serve cells the store already holds instead of recomputing them (resume a killed sweep)")
 	refine := fs.Bool("refine", false, "require adaptive refinement: error unless the spec carries a refine block (a spec with one always runs refined)")
 	workers := fs.String("workers", "", "comma-separated worker base URLs (ichannels serve -worker nodes) to dispatch cells to")
@@ -389,7 +404,7 @@ func sweepRun(args []string) error {
 	if *refine && sw.Refine == nil {
 		return errors.New("sweep run: -refine given but the spec has no refine block (see 'ichannels sweep schema')")
 	}
-	st, closeStore, err := openRunStore("sweep run", *storeDir, *resume)
+	st, closeStore, err := openRunStore("sweep run", *storeDir, *cacheDir, *resume)
 	if err != nil {
 		return err
 	}
@@ -434,21 +449,45 @@ func sweepRun(args []string) error {
 	if *workers != "" {
 		// Store tallies ride the dist line: hits are cells the corpus
 		// served, misses the cells that had to compute, errors the
-		// degraded store operations (all wall-clock metadata — the
-		// aggregate bytes never depend on them).
+		// degraded store operations split by class — transient is the
+		// network's fault, permanent the bytes' fault (all wall-clock
+		// metadata — the aggregate bytes never depend on them).
 		storeHits, storeMisses := 0, 0
 		if *storeDir != "" {
 			storeHits = res.Cached
 			storeMisses = len(res.Cells) - res.Cached
 		}
-		fmt.Fprintf(os.Stderr, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback; store: %d hits, %d misses, %d errors\n",
+		fmt.Fprintf(os.Stderr, "dist: %d remote, %d redispatched, %d corrupt, %d local fallback; store: %d hits, %d misses, %d transient, %d permanent\n",
 			res.RemoteDispatched, res.RemoteRedispatched, res.RemoteCorrupt, res.RemoteLocal,
-			storeHits, storeMisses, res.StoreErrors)
+			storeHits, storeMisses, res.StoreTransient, res.StorePermanent)
 	}
+	writeStoreTierLine(os.Stderr, res.StoreTier, res.StoreTransient, res.StorePermanent)
 	if res.Failed > 0 {
 		return fmt.Errorf("sweep run: %d of %d cells failed", res.Failed, len(res.Cells))
 	}
 	return nil
+}
+
+// writeStoreTierLine reports the resilient store path's counters when
+// a run had a remote corpus behind it: retry/breaker activity on the
+// remote leg, cache activity on the replica leg. Wall-clock metadata
+// only — the aggregate bytes never depend on it.
+func writeStoreTierLine(w io.Writer, t *ichannels.StoreTierStats, transient, permanent int) {
+	if t == nil {
+		return
+	}
+	if r := t.Remote; r != nil {
+		fmt.Fprintf(w, "store remote: %d attempts, %d retries, %d transient, %d permanent, %d breaker opens, %d fast fails, state %s\n",
+			r.Attempts, r.Retries, r.Transient, r.Permanent, r.BreakerOpens, r.FastFails, r.State)
+	}
+	if c := t.Replica; c != nil {
+		fmt.Fprintf(w, "store replica: %d local hits, %d fills, %d remote misses, %d corrupt, %d flushed, %d flush errors, %d dropped\n",
+			c.LocalHits, c.RemoteFills, c.RemoteMisses, c.CorruptRemote, c.FlushOK, c.FlushErrors, c.FlushDropped)
+	}
+	// The engine-side split of degraded store operations: transient is
+	// the network's fault (retried, then recomputed), permanent the
+	// bytes' fault (a byzantine corpus — rejected, never retried).
+	fmt.Fprintf(w, "store errors: %d transient, %d permanent\n", transient, permanent)
 }
 
 // sweepExpand prints a grid's cells without running them: a text table
@@ -481,21 +520,37 @@ func sweepExpand(args []string) error {
 	return nil
 }
 
-// openRunStore opens the optional -store/-resume pair the scenario and
-// sweep run commands share: no -store means no persistence, -store
-// alone persists but recomputes everything (re-verifying determinism),
-// -store with -resume serves already-materialized results. The spec is
-// a directory (either layout, detected) or an http(s) URL naming a
-// `serve -share` corpus. The returned closer seals packed segments and
-// must run after the sweep drains.
-func openRunStore(cmd, spec string, resume bool) (ichannels.ResultStore, func() error, error) {
+// openRunStore opens the optional -store/-cache/-resume trio the
+// scenario and sweep run commands share: no -store means no
+// persistence, -store alone persists but recomputes everything
+// (re-verifying determinism), -store with -resume serves
+// already-materialized results. The spec is a directory (either
+// layout, detected) or an http(s) URL naming a `serve -share` corpus;
+// with a URL, -cache DIR layers a read-through replica cache over it
+// (local hits skip the network, remote hits are verified once and
+// kept, writes flush upstream asynchronously). The returned closer
+// seals packed segments and drains the replica flush queue, and must
+// run after the sweep drains.
+func openRunStore(cmd, spec, cache string, resume bool) (ichannels.ResultStore, func() error, error) {
 	if spec == "" {
 		if resume {
 			return nil, nil, fmt.Errorf("%s: -resume needs -store DIR|URL (nothing to resume from)", cmd)
 		}
+		if cache != "" {
+			return nil, nil, fmt.Errorf("%s: -cache needs -store URL (a remote corpus to cache)", cmd)
+		}
 		return nil, func() error { return nil }, nil
 	}
-	st, err := ichannels.OpenResultStore(spec)
+	var st ichannels.ResultStore
+	var err error
+	if cache != "" {
+		if !ichannels.IsRemoteStoreSpec(spec) {
+			return nil, nil, fmt.Errorf("%s: -cache only applies to a remote -store URL (a local directory already is the cache)", cmd)
+		}
+		st, err = ichannels.OpenReplicaStore(cache, spec)
+	} else {
+		st, err = ichannels.OpenResultStore(spec)
+	}
 	if err != nil {
 		return nil, nil, fmt.Errorf("%s: %w", cmd, err)
 	}
@@ -511,15 +566,17 @@ func openRunStore(cmd, spec string, resume bool) (ichannels.ResultStore, func() 
 // per-file and packed corpora are served by identical invocations.
 func storeCmd(args []string) error {
 	if len(args) < 1 {
-		return errors.New("store: missing subcommand (ls, verify, gc, pack, or bench)")
+		return errors.New("store: missing subcommand (ls, verify, gc, pack, sync, or bench)")
 	}
 	sub := args[0]
 	switch sub {
 	case "bench":
 		return storeBench(args[1:])
+	case "sync":
+		return storeSync(args[1:])
 	case "ls", "verify", "gc", "pack":
 	default:
-		return fmt.Errorf("store: unknown subcommand %q (ls, verify, gc, pack, or bench)", sub)
+		return fmt.Errorf("store: unknown subcommand %q (ls, verify, gc, pack, sync, or bench)", sub)
 	}
 	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON")
@@ -612,6 +669,47 @@ func storeCmd(args []string) error {
 	return nil
 }
 
+// storeSync reconciles a local store directory (typically a -cache
+// replica) against a remote corpus: every local entry the remote lacks
+// is pushed upstream. The recovery path after a partition, a dropped
+// flush, or a remote wipe — safe to re-run, since deterministic
+// results make every push byte-idempotent.
+func storeSync(args []string) error {
+	fs := flag.NewFlagSet("store sync", flag.ContinueOnError)
+	remote := fs.String("to", "", "remote corpus base URL (a serve -share process); required")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report")
+	dirs, err := splitFilesAndFlags("store sync", args, fs)
+	if err != nil {
+		return err
+	}
+	if len(dirs) != 1 {
+		return errors.New("store sync: give exactly one local store directory")
+	}
+	if *remote == "" {
+		return errors.New("store sync: -to URL is required (the remote corpus to reconcile against)")
+	}
+	if _, err := os.Stat(dirs[0]); err != nil {
+		return fmt.Errorf("store sync: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	rep, err := ichannels.SyncStoreDir(ctx, dirs[0], *remote)
+	if err != nil {
+		return fmt.Errorf("store sync: %w", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("synced %s -> %s: %d local, %d remote, %d pushed, %d push errors\n",
+		dirs[0], *remote, rep.LocalEntries, rep.RemoteEntries, rep.Pushed, rep.PushErrors)
+	if rep.PushErrors > 0 {
+		return fmt.Errorf("store sync: %d pushes failed (re-run to retry)", rep.PushErrors)
+	}
+	return nil
+}
+
 // storeBench measures the layouts against each other on a synthetic
 // corpus: write throughput, warm-read latency, gc time.
 func storeBench(args []string) error {
@@ -671,26 +769,43 @@ func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address")
 	storeSpec := fs.String("store", "", "durable result store: a directory (either layout) or a remote http(s) URL")
+	cacheDir := fs.String("cache", "", "with a remote -store URL, keep a local read-through replica cache in this directory")
 	worker := fs.Bool("worker", false, "additionally serve POST /v1/cells, the distributed sweep cell endpoint coordinators dispatch to")
 	share := fs.Bool("share", false, "additionally serve the store's objects over GET/PUT /v1/store/{key} (requires -store)")
+	gcEvery := fs.Duration("gc-every", 0, "run store retention on this interval (0 = never; requires -store)")
+	gcMaxAge := fs.Duration("max-age", 0, "retention: remove intact entries older than this (0 = keep all ages)")
+	gcMaxBytes := fs.Int64("max-bytes", 0, "retention: evict oldest entries until the store fits this many bytes, and reject larger uploads (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *share && *storeSpec == "" {
 		return errors.New("serve: -share needs -store DIR|URL (no corpus to share)")
 	}
+	if *gcEvery > 0 && *storeSpec == "" {
+		return errors.New("serve: -gc-every needs -store DIR|URL (no corpus to retain)")
+	}
+	if *cacheDir != "" && !ichannels.IsRemoteStoreSpec(*storeSpec) {
+		return errors.New("serve: -cache only applies to a remote -store URL (a local directory already is the cache)")
+	}
 	var st ichannels.ResultStore
 	if *storeSpec != "" {
 		var err error
-		st, err = ichannels.OpenResultStore(*storeSpec)
+		if *cacheDir != "" {
+			st, err = ichannels.OpenReplicaStore(*cacheDir, *storeSpec)
+		} else {
+			st, err = ichannels.OpenResultStore(*storeSpec)
+		}
 		if err != nil {
 			return err
 		}
 		defer ichannels.CloseResultStore(st)
 	}
-	handler := ichannels.NewServer(ichannels.ServerOptions{
+	api := ichannels.NewAPIServer(ichannels.ServerOptions{
 		Store: st, Worker: *worker, ShareStore: *share,
+		GCEvery: *gcEvery, GCMaxAge: *gcMaxAge, GCMaxBytes: *gcMaxBytes,
 	})
+	defer api.Close()
+	handler := api.Handler()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -538,6 +538,74 @@ func OpenRemoteStore(baseURL string) (*RemoteResultStore, error) {
 // verification that makes it a trustworthy ResultStore.
 func NewBackendResultStore(b ResultStoreBackend) ResultStore { return store.NewBackendStore(b) }
 
+// ---- Resilient shared-corpus tier ----
+
+// RemoteStoreRetryOptions tunes the retry/backoff/circuit-breaker
+// policy every remote store opens with (OpenRemoteStore uses the
+// defaults). Transient failures — transport errors, timeouts, 5xx —
+// are retried with bounded exponential backoff; permanent ones (4xx,
+// corrupt envelopes) surface immediately; a dead share server costs
+// one probe per cooldown instead of a timeout per cell.
+type RemoteStoreRetryOptions = store.RetryOptions
+
+// OpenRemoteStoreWith opens a remote corpus with an explicit retry
+// policy (tests use RemoteStoreRetryOptions{Disable: true} to skip
+// backoff sleeps).
+func OpenRemoteStoreWith(baseURL string, opts RemoteStoreRetryOptions) (*RemoteResultStore, error) {
+	return store.OpenRemoteWith(baseURL, nil, opts)
+}
+
+// ReplicaResultStore is the read-through replica cache that makes the
+// shared-corpus tier survivable: a local store layered over a remote
+// corpus. Remote hits are verified once and persisted verbatim, local
+// hits never touch the network, writes land locally first with an
+// async best-effort upstream flush. Because results are immutable,
+// the tiers can never disagree about a key's bytes — there is no
+// invalidation, only presence.
+type (
+	ReplicaResultStore  = store.ReplicaStore
+	ReplicaStoreOptions = store.ReplicaOptions
+	StoreSyncReport     = store.SyncReport
+)
+
+// Tier counters the resilient store path exposes: retry/breaker
+// activity on the remote leg, cache activity on the replica leg.
+// Engine stream stats, sweep results, and GET /v1/stats all carry a
+// StoreTierStats snapshot when the store has a remote behind it.
+type (
+	StoreTierStats    = store.TierStats
+	StoreRemoteStats  = store.RemoteStats
+	StoreReplicaStats = store.ReplicaStats
+)
+
+// OpenReplicaStore layers a local cache directory (created packed if
+// new) over the remote corpus at baseURL — what `-store URL -cache
+// DIR` opens. The remote leg carries the default retry policy.
+func OpenReplicaStore(cacheDir, baseURL string) (*ReplicaResultStore, error) {
+	r, err := store.OpenRemote(baseURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	return store.OpenReplica(cacheDir, r.Retry(), store.ReplicaOptions{})
+}
+
+// SyncStoreDir reconciles a local store directory against the remote
+// corpus at baseURL: every local entry the remote lacks is pushed
+// upstream. The recovery path after a partition or a remote wipe —
+// `ichannels store sync` drives it.
+func SyncStoreDir(ctx context.Context, dir, baseURL string) (*StoreSyncReport, error) {
+	local, err := store.OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	defer local.Close()
+	r, err := store.OpenRemote(baseURL, nil)
+	if err != nil {
+		return nil, err
+	}
+	return store.SyncDirToRemote(ctx, local, r.Retry())
+}
+
 // PackStore migrates a per-file corpus into packed segments in place.
 // Idempotent and crash-resumable: each entry is removed only after its
 // bytes land in a segment, and a re-run finishes whatever a crash left.
@@ -702,10 +770,19 @@ func NewWorkerServer(st ResultStore) http.Handler {
 // presets.
 type ServerOptions = serve.Options
 
-// NewServer builds the scenario-API handler from explicit options —
-// what `ichannels serve` uses once flags like -worker and -share start
-// composing.
+// NewServer builds the scenario-API handler from explicit options.
+// Callers that need the server's lifecycle (the retention timer) use
+// NewAPIServer instead.
 func NewServer(opts ServerOptions) http.Handler { return serve.New(opts).Handler() }
+
+// APIServer is the serve-layer server itself, exposed for callers that
+// need more than the handler: Close stops the retention timer,
+// RunRetention forces one GC pass.
+type APIServer = serve.Server
+
+// NewAPIServer builds the full server — what `ichannels serve` uses so
+// shutdown stops the retention loop (-gc-every) cleanly.
+func NewAPIServer(opts ServerOptions) *APIServer { return serve.New(opts) }
 
 // ---- Adaptive sweep refinement ----
 

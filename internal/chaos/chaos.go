@@ -1,0 +1,264 @@
+// Package chaos is a fault-injection HTTP proxy for conformance
+// testing the remote-store tier: it forwards requests to a real
+// upstream while injecting, deterministically per seed, exactly the
+// failures a fleet sees in production — latency, flaked requests, 5xx
+// bursts, truncated responses, bit-flipped bodies, and full partitions
+// with a scheduled heal.
+//
+// The proxy's contract mirrors the repo's determinism contract from
+// the other side: whatever faults it injects, a sweep routed through
+// it must still exit 0 with byte-identical output, because every
+// client defends itself (envelope verification, retries, local
+// recompute). The chaos conformance suite at the repo root drives the
+// paper's table sweeps through this proxy and asserts exactly that.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+)
+
+// maxProxyBody bounds one buffered upstream response.
+const maxProxyBody = 256 << 20
+
+// Options configures a Proxy. All fault modes are off at their zero
+// values; a zero-value Options is a faithful pass-through proxy.
+type Options struct {
+	// Target is the upstream base URL (required).
+	Target string
+	// Seed drives the fault RNG; a fixed seed replays the same fault
+	// sequence for the same request order.
+	Seed int64
+	// Latency delays every forwarded request.
+	Latency time.Duration
+	// FlakeRate in [0,1] is the probability a request fails at the
+	// transport level (the connection is severed without a response) —
+	// the retryable failure class.
+	FlakeRate float64
+	// Burst5xx, when positive, makes the proxy answer 503 for that many
+	// consecutive requests every Burst5xxPeriod requests — the
+	// server-having-a-bad-time failure class (also retryable).
+	Burst5xx       int
+	Burst5xxPeriod int
+	// TruncateRate in [0,1] is the probability a 200 response body is
+	// cut short mid-stream — the torn-read failure class (caught by
+	// envelope verification).
+	TruncateRate float64
+	// CorruptRate in [0,1] is the probability one byte of a 200
+	// response body is flipped — the byzantine failure class (also
+	// caught by envelope verification, and must never be cached).
+	CorruptRate float64
+	// Client overrides the forwarding client (nil gets a default).
+	Client *http.Client
+}
+
+// Stats counts the proxy's activity, by fault injected.
+type Stats struct {
+	Requests    int64 `json:"requests"`
+	Forwarded   int64 `json:"forwarded"`
+	Flaked      int64 `json:"flaked"`
+	Bursted     int64 `json:"bursted"`
+	Truncated   int64 `json:"truncated"`
+	Corrupted   int64 `json:"corrupted"`
+	Partitioned int64 `json:"partitioned"`
+}
+
+// Proxy is the fault-injecting reverse proxy. It implements
+// http.Handler; Start wraps it in an httptest server for in-test use.
+type Proxy struct {
+	opts   Options
+	client *http.Client
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	n           int64 // request ordinal, drives 5xx bursts
+	partitioned bool
+	healAt      time.Time
+	healTimer   *time.Timer
+	stats       Stats
+}
+
+// New builds a proxy forwarding to opts.Target.
+func New(opts Options) (*Proxy, error) {
+	if opts.Target == "" {
+		return nil, fmt.Errorf("chaos: need a target base URL")
+	}
+	if opts.Burst5xx > 0 && opts.Burst5xxPeriod <= opts.Burst5xx {
+		return nil, fmt.Errorf("chaos: burst period must exceed burst length")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Proxy{
+		opts:   opts,
+		client: client,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+	}, nil
+}
+
+// Start serves the proxy on a loopback listener and returns its base
+// URL and a shutdown func.
+func (p *Proxy) Start() (url string, stop func()) {
+	srv := httptest.NewServer(p)
+	return srv.URL, srv.Close
+}
+
+// Partition severs the proxy for d (every request fails at the
+// transport level), then heals automatically. A zero d partitions
+// until Heal is called.
+func (p *Proxy) Partition(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitioned = true
+	if p.healTimer != nil {
+		p.healTimer.Stop()
+		p.healTimer = nil
+	}
+	if d > 0 {
+		p.healTimer = time.AfterFunc(d, p.Heal)
+	}
+}
+
+// Heal ends a partition.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.partitioned = false
+	if p.healTimer != nil {
+		p.healTimer.Stop()
+		p.healTimer = nil
+	}
+}
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// decide rolls this request's faults under one lock acquisition, so
+// the fault sequence is a deterministic function of (seed, request
+// order).
+type verdict struct {
+	partitioned bool
+	flake       bool
+	burst       bool
+	truncate    bool
+	corrupt     bool
+	corruptAt   int64 // offset basis for the flipped byte
+}
+
+func (p *Proxy) decide() verdict {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	p.n++
+	v := verdict{}
+	if p.partitioned {
+		v.partitioned = true
+		p.stats.Partitioned++
+		return v
+	}
+	if p.opts.Burst5xx > 0 && (p.n-1)%int64(p.opts.Burst5xxPeriod) < int64(p.opts.Burst5xx) {
+		v.burst = true
+		p.stats.Bursted++
+		return v
+	}
+	if p.opts.FlakeRate > 0 && p.rng.Float64() < p.opts.FlakeRate {
+		v.flake = true
+		p.stats.Flaked++
+		return v
+	}
+	if p.opts.TruncateRate > 0 && p.rng.Float64() < p.opts.TruncateRate {
+		v.truncate = true
+	}
+	if p.opts.CorruptRate > 0 && p.rng.Float64() < p.opts.CorruptRate {
+		v.corrupt = true
+		v.corruptAt = p.rng.Int63()
+	}
+	return v
+}
+
+// sever kills the client connection without an HTTP response, so the
+// client sees a transport error (exactly what a dead host looks like).
+// Falls back to 502 when the ResponseWriter cannot hijack.
+func sever(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	http.Error(w, "chaos: severed", http.StatusBadGateway)
+}
+
+// ServeHTTP forwards one request with this request's faults applied.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	v := p.decide()
+	if p.opts.Latency > 0 {
+		time.Sleep(p.opts.Latency)
+	}
+	switch {
+	case v.partitioned, v.flake:
+		sever(w)
+		return
+	case v.burst:
+		http.Error(w, "chaos: burst", http.StatusServiceUnavailable)
+		return
+	}
+
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.opts.Target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, "chaos: bad upstream request", http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		// The upstream itself failed; that is its chaos, not ours.
+		sever(w)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBody))
+	if err != nil {
+		sever(w)
+		return
+	}
+
+	if resp.StatusCode == http.StatusOK && len(body) > 0 {
+		if v.truncate {
+			body = body[:len(body)/2]
+			p.bump(func(s *Stats) { s.Truncated++ })
+		}
+		if v.corrupt && len(body) > 0 {
+			body = append([]byte(nil), body...)
+			body[v.corruptAt%int64(len(body))] ^= 0x01
+			p.bump(func(s *Stats) { s.Corrupted++ })
+		}
+	}
+
+	h := w.Header()
+	for k, vals := range resp.Header {
+		if k == "Content-Length" {
+			continue // the body may have changed size
+		}
+		h[k] = vals
+	}
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+	p.bump(func(s *Stats) { s.Forwarded++ })
+}
+
+func (p *Proxy) bump(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}

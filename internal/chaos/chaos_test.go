@@ -1,0 +1,173 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstream serves a fixed body for every request.
+func upstream(t *testing.T, body string) string {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func get(t *testing.T, url string) (int, string, error) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, "", err
+	}
+	return resp.StatusCode, string(data), nil
+}
+
+func TestPassThrough(t *testing.T) {
+	p, err := New(Options{Target: upstream(t, "hello")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := p.Start()
+	defer stop()
+	code, body, err := get(t, url+"/x")
+	if err != nil || code != 200 || body != "hello" {
+		t.Fatalf("pass-through: code=%d body=%q err=%v", code, body, err)
+	}
+	if s := p.Stats(); s.Forwarded != 1 || s.Requests != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestFlakeSeversConnections(t *testing.T) {
+	p, err := New(Options{Target: upstream(t, "ok"), FlakeRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := p.Start()
+	defer stop()
+	if _, _, err := get(t, url+"/x"); err == nil {
+		t.Fatal("flaked request did not fail at the transport level")
+	}
+	if s := p.Stats(); s.Flaked != 1 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestBurst5xx(t *testing.T) {
+	// First 2 of every 5 requests answer 503.
+	p, err := New(Options{Target: upstream(t, "ok"), Burst5xx: 2, Burst5xxPeriod: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := p.Start()
+	defer stop()
+	var codes []int
+	for i := 0; i < 5; i++ {
+		code, _, err := get(t, url+"/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, code)
+	}
+	want := []int{503, 503, 200, 200, 200}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("burst pattern: got %v, want %v", codes, want)
+		}
+	}
+}
+
+func TestCorruptFlipsOneByte(t *testing.T) {
+	const body = "abcdefgh"
+	p, err := New(Options{Target: upstream(t, body), CorruptRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := p.Start()
+	defer stop()
+	code, got, err := get(t, url+"/x")
+	if err != nil || code != 200 {
+		t.Fatalf("corrupt get: code=%d err=%v", code, err)
+	}
+	if got == body || len(got) != len(body) {
+		t.Fatalf("corrupted body %q vs %q: want same length, one byte flipped", got, body)
+	}
+	diff := 0
+	for i := range body {
+		if got[i] != body[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("%d bytes differ, want exactly 1", diff)
+	}
+}
+
+func TestTruncateHalvesBody(t *testing.T) {
+	const body = "0123456789"
+	p, err := New(Options{Target: upstream(t, body), TruncateRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := p.Start()
+	defer stop()
+	_, got, err := get(t, url+"/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != body[:len(body)/2] {
+		t.Fatalf("truncated body %q, want %q", got, body[:len(body)/2])
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	p, err := New(Options{Target: upstream(t, "ok")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	url, stop := p.Start()
+	defer stop()
+	p.Partition(0)
+	if _, _, err := get(t, url+"/x"); err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	p.Heal()
+	if code, body, err := get(t, url+"/x"); err != nil || code != 200 || body != "ok" {
+		t.Fatalf("healed: code=%d body=%q err=%v", code, body, err)
+	}
+	// Scheduled heal: partition for a moment, wait it out.
+	p.Partition(50 * time.Millisecond)
+	if _, _, err := get(t, url+"/x"); err == nil {
+		t.Fatal("scheduled partition not in effect")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, err := get(t, url+"/x"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Fatalf("missing target accepted: %v", err)
+	}
+	if _, err := New(Options{Target: "http://x", Burst5xx: 3, Burst5xxPeriod: 3}); err == nil {
+		t.Fatal("degenerate burst period accepted")
+	}
+}

@@ -102,8 +102,17 @@ type StreamStats struct {
 	Cached int
 	// StoreErrors counts store operations (get or put) that failed;
 	// each was degraded to a miss or a skipped write, never a failed
-	// scenario.
-	StoreErrors int
+	// scenario. StoreTransient and StorePermanent split the count:
+	// transient failures (network blips, timeouts, 5xx, an open
+	// breaker) point at infrastructure, permanent ones (corrupt
+	// envelopes) at a damaged or byzantine store.
+	StoreErrors    int
+	StoreTransient int
+	StorePermanent int
+	// StoreTier snapshots the store's remote-path counters (retry
+	// attempts, breaker state, replica cache activity) after the stream
+	// drains, when the store exposes them. Nil for purely local stores.
+	StoreTier *store.TierStats
 	// RemoteDispatched, RemoteRedispatched, RemoteCorrupt and
 	// RemoteLocal snapshot a delegating Runner's counters (see
 	// RemoteCellStats): cells served by a worker, dispatch attempts
@@ -196,7 +205,7 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 		srcErr  error // invalid-spec or cancellation error, owned by the dispatcher
 	)
 
-	var storeErrs atomic.Int64
+	var storeErrs storeErrCounters
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -281,7 +290,14 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 		}
 	}
 	wg.Wait()
-	stats.StoreErrors = int(storeErrs.Load())
+	stats.StoreTransient = int(storeErrs.transient.Load())
+	stats.StorePermanent = int(storeErrs.permanent.Load())
+	stats.StoreErrors = stats.StoreTransient + stats.StorePermanent
+	if ts, ok := opts.Store.(store.TierStatter); ok {
+		if t := ts.TierStats(); t.Remote != nil || t.Replica != nil {
+			stats.StoreTier = &t
+		}
+	}
 	if rs, ok := opts.Runner.(RemoteCellStats); ok {
 		stats.RemoteDispatched, stats.RemoteRedispatched, stats.RemoteCorrupt, stats.RemoteLocal = rs.RemoteCellStats()
 	}
@@ -305,13 +321,13 @@ func StreamScenarios(ctx context.Context, opts StreamOptions) (*StreamStats, err
 // deterministic too, but pinning them to disk would make a transient
 // environmental failure (out of memory, a panic from a since-fixed bug)
 // permanent.
-func runSlot(ctx context.Context, run cellRunFunc, st store.Store, o *ScenarioOutcome, storeErrs *atomic.Int64) {
+func runSlot(ctx context.Context, run cellRunFunc, st store.Store, o *ScenarioOutcome, storeErrs *storeErrCounters) {
 	var key store.Key
 	if st != nil {
 		key = store.Key{Hash: o.Hash, Seed: o.Seed}
-		res, ok, err := st.Get(key)
+		res, ok, err := store.GetContext(ctx, st, key)
 		if err != nil {
-			storeErrs.Add(1) // unreadable entry: recompute it
+			storeErrs.count(err) // unreadable entry: recompute it
 		} else if ok {
 			o.Result, o.Cached = res, true
 			return
@@ -319,9 +335,26 @@ func runSlot(ctx context.Context, run cellRunFunc, st store.Store, o *ScenarioOu
 	}
 	o.Result, o.Err = runCellIsolated(ctx, run, o.Scenario, o.Hash, o.Seed)
 	if st != nil && o.Err == nil {
-		if err := st.Put(key, o.Result); err != nil {
-			storeErrs.Add(1)
+		if err := store.PutContext(ctx, st, key, o.Result); err != nil {
+			storeErrs.count(err)
 		}
+	}
+}
+
+// storeErrCounters splits degraded store operations by class: a
+// transient failure is the network's fault, a permanent one is the
+// bytes' fault. Both degrade identically (recompute or skip the
+// write); only the diagnosis differs.
+type storeErrCounters struct {
+	transient atomic.Int64
+	permanent atomic.Int64
+}
+
+func (c *storeErrCounters) count(err error) {
+	if store.IsPermanentError(err) {
+		c.permanent.Add(1)
+	} else {
+		c.transient.Add(1)
 	}
 }
 

@@ -127,6 +127,17 @@ type Options struct {
 	// sweep cells here and verifies the checksummed envelope responses.
 	// Off by default — a plain API server is not a compute worker.
 	Worker bool
+	// GCEvery, when positive and the store supports retention
+	// (store.DirStore's GCWith — both directory layouts and the replica
+	// cache do), runs an age/size GC pass on that interval for the
+	// lifetime of the server. GCMaxAge and GCMaxBytes are the pass's
+	// GCOptions; both zero still removes corrupt entries and stale
+	// temporaries. The retention config and last report are advertised
+	// via /v1/stats, and GCMaxBytes also caps uploaded envelopes on the
+	// shared store routes.
+	GCEvery    time.Duration
+	GCMaxAge   time.Duration
+	GCMaxBytes int64
 	// ShareStore additionally exposes the store's object routes
 	// (GET/PUT /v1/store/{key}, GET /v1/store — see store.HTTPBackend):
 	// remote processes opening `-store http://this-host` read and write
@@ -146,6 +157,13 @@ type Server struct {
 	worker     bool          // serve the /v1/cells dispatch endpoint
 	shareStore bool          // serve the /v1/store object routes
 
+	// Retention config (see Options.GCEvery); zero values mean off.
+	gcEvery    time.Duration
+	gcMaxAge   time.Duration
+	gcMaxBytes int64
+	gcStop     chan struct{}
+	closeOnce  sync.Once
+
 	mu          sync.Mutex
 	cache       map[cacheKey]*cacheEntry
 	order       []cacheKey // recency order, oldest first, for LRU eviction
@@ -154,6 +172,12 @@ type Server struct {
 	storeHits   int64
 	storeMisses int64
 	storeErrors int64
+	storeTrans  int64 // transient store failures (network-class)
+	storePerm   int64 // permanent store failures (corrupt envelopes)
+	gcRuns      int64
+	lastGC      *store.GCReport
+	lastGCErr   string
+	lastGCAt    time.Time
 }
 
 // cacheKey identifies one deterministic result: the scenario's content
@@ -219,7 +243,7 @@ func New(opts Options) *Server {
 		sem = make(chan struct{}, c)
 	}
 	machines := soc.NewPool()
-	return &Server{
+	s := &Server{
 		run:        run,
 		runner:     scenario.Runner{ExpRun: run, Machines: machines},
 		machines:   machines,
@@ -228,8 +252,70 @@ func New(opts Options) *Server {
 		store:      opts.Store,
 		worker:     opts.Worker,
 		shareStore: opts.ShareStore && opts.Store != nil,
+		gcEvery:    opts.GCEvery,
+		gcMaxAge:   opts.GCMaxAge,
+		gcMaxBytes: opts.GCMaxBytes,
 		cache:      map[cacheKey]*cacheEntry{},
 	}
+	if s.gcEvery > 0 {
+		if _, ok := s.store.(retainer); ok {
+			s.gcStop = make(chan struct{})
+			go s.retentionLoop()
+		}
+	}
+	return s
+}
+
+// retainer is the retention surface a store must expose for the timer
+// (both directory layouts and the replica cache satisfy it).
+type retainer interface {
+	GCWith(opts store.GCOptions) (*store.GCReport, error)
+}
+
+// retentionLoop runs GC passes on the configured interval until Close.
+func (s *Server) retentionLoop() {
+	t := time.NewTicker(s.gcEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.gcStop:
+			return
+		case <-t.C:
+			s.RunRetention()
+		}
+	}
+}
+
+// RunRetention runs one retention pass now (the timer calls it; tests
+// and operators may too). It returns the pass's report, or an error
+// when the store does not support retention or the pass failed.
+func (s *Server) RunRetention() (*store.GCReport, error) {
+	ret, ok := s.store.(retainer)
+	if !ok {
+		return nil, fmt.Errorf("serve: store does not support retention")
+	}
+	rep, err := ret.GCWith(store.GCOptions{MaxAge: s.gcMaxAge, MaxBytes: s.gcMaxBytes})
+	s.mu.Lock()
+	s.gcRuns++
+	s.lastGCAt = time.Now()
+	s.lastGC, s.lastGCErr = rep, ""
+	if err != nil {
+		s.lastGCErr = err.Error()
+	}
+	s.mu.Unlock()
+	return rep, err
+}
+
+// Close stops the retention timer. Safe to call more than once; a
+// server without retention needs no Close, but callers may do so
+// unconditionally.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		if s.gcStop != nil {
+			close(s.gcStop)
+		}
+	})
+	return nil
 }
 
 // Handler returns the HTTP routing for the server.
@@ -340,7 +426,7 @@ func (s *Server) compute(key cacheKey, ent *cacheEntry, fn func() (*scenario.Res
 			res, ok, err := s.store.Get(store.Key(key))
 			switch {
 			case err != nil:
-				s.countStore(storeTallyError) // unreadable entry: recompute
+				s.countStoreErr(err) // unreadable entry: recompute
 			case ok:
 				ent.result, ent.fromStore = res, true
 				ent.elapsed = time.Since(t0)
@@ -361,7 +447,7 @@ func (s *Server) compute(key cacheKey, ent *cacheEntry, fn func() (*scenario.Res
 		ent.elapsed = time.Since(t0)
 		if useStore && ent.err == nil {
 			if err := s.store.Put(store.Key(key), ent.result); err != nil {
-				s.countStore(storeTallyError)
+				s.countStoreErr(err)
 			}
 		}
 	})
@@ -373,7 +459,6 @@ type storeTally int
 const (
 	storeTallyHit storeTally = iota
 	storeTallyMiss
-	storeTallyError
 )
 
 // countStore tallies durable-tier activity for StoreStats and the
@@ -386,10 +471,22 @@ func (s *Server) countStore(t storeTally) {
 	switch t {
 	case storeTallyHit:
 		s.storeHits++
-	case storeTallyMiss:
-		s.storeMisses++
 	default:
-		s.storeErrors++
+		s.storeMisses++
+	}
+}
+
+// countStoreErr tallies one degraded store operation, split by failure
+// class: transient (network blip — retrying or recomputing covers it)
+// vs permanent (corrupt envelope — the bytes are wrong at the source).
+func (s *Server) countStoreErr(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.storeErrors++
+	if store.IsPermanentError(err) {
+		s.storePerm++
+	} else {
+		s.storeTrans++
 	}
 }
 
@@ -409,6 +506,15 @@ func (s *Server) StoreCounters() (hits, misses, errors int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.storeHits, s.storeMisses, s.storeErrors
+}
+
+// StoreErrorCounters splits the error tally by failure class:
+// transient (network-class, degraded and recovered) vs permanent
+// (corrupt envelopes — a damaged or byzantine upstream).
+func (s *Server) StoreErrorCounters() (transient, permanent int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.storeTrans, s.storePerm
 }
 
 // ---- wire envelopes ----

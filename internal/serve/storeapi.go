@@ -41,7 +41,31 @@ type storeStats struct {
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 	Errors int64 `json:"errors"`
-	Shared bool  `json:"shared"`
+	// Transient and Permanent split Errors by failure class: network
+	// blips vs corrupt envelopes (a byzantine upstream).
+	Transient int64 `json:"transient"`
+	Permanent int64 `json:"permanent"`
+	Shared    bool  `json:"shared"`
+	// Tier reports the remote-path counters (retry attempts, breaker
+	// state, replica cache) when this server's store has a remote
+	// behind it.
+	Tier *store.TierStats `json:"tier,omitempty"`
+	// Retention advertises the server-side GC config and last report
+	// when a retention timer is configured.
+	Retention *retentionStats `json:"retention,omitempty"`
+}
+
+// retentionStats is the /v1/stats retention block.
+type retentionStats struct {
+	GCEvery  string `json:"gc_every"`
+	MaxAge   string `json:"max_age,omitempty"`
+	MaxBytes int64  `json:"max_bytes,omitempty"`
+	Runs     int64  `json:"runs"`
+	// LastUnix is the wall-clock time of the last pass (0 before the
+	// first).
+	LastUnix  int64           `json:"last_unix,omitempty"`
+	Last      *store.GCReport `json:"last,omitempty"`
+	LastError string          `json:"last_error,omitempty"`
 }
 
 // v1Stats handles GET /v1/stats.
@@ -55,6 +79,29 @@ func (s *Server) v1Stats(w http.ResponseWriter, r *http.Request) {
 	if s.store != nil {
 		st := &storeStats{Shared: s.shareStore}
 		st.Hits, st.Misses, st.Errors = s.StoreCounters()
+		st.Transient, st.Permanent = s.StoreErrorCounters()
+		if ts, ok := s.store.(store.TierStatter); ok {
+			t := ts.TierStats()
+			st.Tier = &t
+		}
+		if s.gcEvery > 0 {
+			ret := &retentionStats{
+				GCEvery:  s.gcEvery.String(),
+				MaxBytes: s.gcMaxBytes,
+			}
+			if s.gcMaxAge > 0 {
+				ret.MaxAge = s.gcMaxAge.String()
+			}
+			s.mu.Lock()
+			ret.Runs = s.gcRuns
+			ret.Last = s.lastGC
+			ret.LastError = s.lastGCErr
+			if !s.lastGCAt.IsZero() {
+				ret.LastUnix = s.lastGCAt.Unix()
+			}
+			s.mu.Unlock()
+			st.Retention = ret
+		}
 		resp.Store = st
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -83,7 +130,7 @@ func (s *Server) v1StoreIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	ls, err := b.ListObjects()
 	if err != nil {
-		s.countStore(storeTallyError)
+		s.countStoreErr(err)
 		writeError(w, http.StatusInternalServerError, CodeStoreError, "list store: %v", err)
 		return
 	}
@@ -108,7 +155,7 @@ func (s *Server) v1StoreEntry(w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		data, ok, err := b.GetObject(key)
 		if err != nil {
-			s.countStore(storeTallyError)
+			s.countStoreErr(err)
 			writeError(w, http.StatusInternalServerError, CodeStoreError,
 				"read %s: %v", key, err)
 			return
@@ -135,6 +182,14 @@ func (s *Server) v1StoreEntry(w http.ResponseWriter, r *http.Request) {
 				"envelope exceeds %d bytes", maxBodyBytes)
 			return
 		}
+		// With a byte budget configured, an envelope that alone busts
+		// it would be evicted by the next GC pass anyway; reject it at
+		// the door instead of churning the corpus.
+		if s.gcMaxBytes > 0 && int64(len(data)) > s.gcMaxBytes {
+			writeError(w, http.StatusRequestEntityTooLarge, CodeTooLarge,
+				"envelope exceeds the store byte budget (%d bytes)", s.gcMaxBytes)
+			return
+		}
 		// Verify before storing: the corpus only ever holds envelopes
 		// that decode, identify their key, and pass their checksum.
 		if _, err := store.DecodeEnvelope(key, data); err != nil {
@@ -143,7 +198,7 @@ func (s *Server) v1StoreEntry(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if err := b.PutObject(key, data); err != nil {
-			s.countStore(storeTallyError)
+			s.countStoreErr(err)
 			writeError(w, http.StatusInternalServerError, CodeStoreError,
 				"write %s: %v", key, err)
 			return

@@ -1,6 +1,8 @@
 package store
 
 import (
+	"context"
+
 	"ichannels/internal/scenario"
 )
 
@@ -26,6 +28,67 @@ type Backend interface {
 	ListObjects() ([]Entry, error)
 }
 
+// BackendContext is the context-aware variant of Backend. Remote
+// backends implement it so a cancelled sweep aborts in-flight store
+// I/O promptly; local backends need not bother (disk ops don't hang).
+// The backendGet/backendPut/backendList helpers upgrade to it when
+// available, so callers pass a context unconditionally.
+type BackendContext interface {
+	GetObjectContext(ctx context.Context, key Key) ([]byte, bool, error)
+	PutObjectContext(ctx context.Context, key Key, data []byte) error
+	ListObjectsContext(ctx context.Context) ([]Entry, error)
+}
+
+// backendGet fetches through the context-aware path when b supports it.
+func backendGet(ctx context.Context, b Backend, key Key) ([]byte, bool, error) {
+	if cb, ok := b.(BackendContext); ok && ctx != nil {
+		return cb.GetObjectContext(ctx, key)
+	}
+	return b.GetObject(key)
+}
+
+// backendPut stores through the context-aware path when b supports it.
+func backendPut(ctx context.Context, b Backend, key Key, data []byte) error {
+	if cb, ok := b.(BackendContext); ok && ctx != nil {
+		return cb.PutObjectContext(ctx, key, data)
+	}
+	return b.PutObject(key, data)
+}
+
+// backendList lists through the context-aware path when b supports it.
+func backendList(ctx context.Context, b Backend) ([]Entry, error) {
+	if cb, ok := b.(BackendContext); ok && ctx != nil {
+		return cb.ListObjectsContext(ctx)
+	}
+	return b.ListObjects()
+}
+
+// ContextStore is the context-aware variant of Store, implemented by
+// stores whose reads and writes can be cancelled mid-flight. The
+// package-level GetContext/PutContext helpers upgrade to it, so the
+// engine threads its stream context through without every Store
+// implementation changing.
+type ContextStore interface {
+	GetContext(ctx context.Context, key Key) (*scenario.Result, bool, error)
+	PutContext(ctx context.Context, key Key, res *scenario.Result) error
+}
+
+// GetContext reads key from s, honoring ctx when s supports it.
+func GetContext(ctx context.Context, s Store, key Key) (*scenario.Result, bool, error) {
+	if cs, ok := s.(ContextStore); ok && ctx != nil {
+		return cs.GetContext(ctx, key)
+	}
+	return s.Get(key)
+}
+
+// PutContext writes key to s, honoring ctx when s supports it.
+func PutContext(ctx context.Context, s Store, key Key, res *scenario.Result) error {
+	if cs, ok := s.(ContextStore); ok && ctx != nil {
+		return cs.PutContext(ctx, key, res)
+	}
+	return s.Put(key, res)
+}
+
 // BackendStore adapts a Backend to the Store interface, adding the
 // envelope round-trip: Get decodes and verifies the fetched bytes
 // against the key, Put encodes the canonical envelope. It is how remote
@@ -44,7 +107,12 @@ func (s *BackendStore) Backend() Backend { return s.b }
 
 // Get implements Store: fetch and verify.
 func (s *BackendStore) Get(key Key) (*scenario.Result, bool, error) {
-	data, ok, err := s.b.GetObject(key)
+	return s.GetContext(context.Background(), key)
+}
+
+// GetContext implements ContextStore: fetch honoring ctx, then verify.
+func (s *BackendStore) GetContext(ctx context.Context, key Key) (*scenario.Result, bool, error) {
+	data, ok, err := backendGet(ctx, s.b, key)
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -57,11 +125,17 @@ func (s *BackendStore) Get(key Key) (*scenario.Result, bool, error) {
 
 // Put implements Store: encode canonically and store.
 func (s *BackendStore) Put(key Key, res *scenario.Result) error {
+	return s.PutContext(context.Background(), key, res)
+}
+
+// PutContext implements ContextStore: encode canonically, store
+// honoring ctx.
+func (s *BackendStore) PutContext(ctx context.Context, key Key, res *scenario.Result) error {
 	data, err := EncodeEnvelope(key, res)
 	if err != nil {
 		return err
 	}
-	return s.b.PutObject(key, data)
+	return backendPut(ctx, s.b, key, data)
 }
 
 // List enumerates the backend's entries.

@@ -119,24 +119,26 @@ func DecodeEnvelope(key Key, data []byte) (*scenario.Result, error) {
 }
 
 // decodeEnvelope validates one entry's bytes against its key and
-// returns the result.
+// returns the result. Every failure is tagged with ErrCorrupt: the
+// bytes themselves are wrong, so no amount of retrying the same source
+// helps — callers classify these as permanent.
 func decodeEnvelope(key Key, data []byte) (*scenario.Result, error) {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
-		return nil, fmt.Errorf("store: entry %s: malformed envelope: %w", key, err)
+		return nil, markCorrupt(fmt.Errorf("store: entry %s: malformed envelope: %w", key, err))
 	}
 	if env.Version != EnvelopeVersion {
-		return nil, fmt.Errorf("store: entry %s: envelope version %d, want %d", key, env.Version, EnvelopeVersion)
+		return nil, markCorrupt(fmt.Errorf("store: entry %s: envelope version %d, want %d", key, env.Version, EnvelopeVersion))
 	}
 	if env.Hash != key.Hash || env.Seed != key.Seed {
-		return nil, fmt.Errorf("store: entry %s: envelope identifies %s-%d (renamed file?)", key, env.Hash, env.Seed)
+		return nil, markCorrupt(fmt.Errorf("store: entry %s: envelope identifies %s-%d (renamed file?)", key, env.Hash, env.Seed))
 	}
 	if got := checksumOf(env.Result); got != env.Checksum {
-		return nil, fmt.Errorf("store: entry %s: checksum mismatch (corrupt result payload)", key)
+		return nil, markCorrupt(fmt.Errorf("store: entry %s: checksum mismatch (corrupt result payload)", key))
 	}
 	var res scenario.Result
 	if err := json.Unmarshal(env.Result, &res); err != nil {
-		return nil, fmt.Errorf("store: entry %s: malformed result: %w", key, err)
+		return nil, markCorrupt(fmt.Errorf("store: entry %s: malformed result: %w", key, err))
 	}
 	return &res, nil
 }

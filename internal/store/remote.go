@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,7 +21,8 @@ const StorePathPrefix = "/v1/store"
 
 // defaultRemoteTimeout bounds one object round-trip against a remote
 // store; a hung coordinator-side fetch must degrade to a local
-// recompute, not stall the sweep.
+// recompute, not stall the sweep. The retry layer applies tighter
+// per-attempt deadlines on top; this is the outer safety net.
 const defaultRemoteTimeout = 30 * time.Second
 
 // HTTPBackend is the remote half of the backend seam: an object client
@@ -29,6 +31,10 @@ const defaultRemoteTimeout = 30 * time.Second
 // in BackendStore so every fetched envelope is verified against its key
 // before anyone trusts it, the same defense the distributed tier
 // applies to worker responses.
+//
+// Every verb honors the caller's context: a cancelled sweep aborts
+// in-flight store I/O immediately instead of waiting out the flat
+// client timeout.
 type HTTPBackend struct {
 	base   string
 	client *http.Client
@@ -51,15 +57,33 @@ func NewHTTPBackend(baseURL string, client *http.Client) (*HTTPBackend, error) {
 	return &HTTPBackend{base: strings.TrimRight(baseURL, "/"), client: client}, nil
 }
 
+// Base returns the backend's base URL.
+func (b *HTTPBackend) Base() string { return b.base }
+
 // objectURL is the entry route for key.
 func (b *HTTPBackend) objectURL(key Key) string {
 	return b.base + StorePathPrefix + "/" + url.PathEscape(key.String())
 }
 
+// statusErr builds a typed error for a non-success response, so the
+// retry layer can tell 4xx (permanent) from 5xx (transient).
+func statusErr(code int, format string, args ...any) error {
+	return &remoteStatusError{msg: fmt.Sprintf(format, args...), code: code}
+}
+
 // GetObject implements Backend: 404 is a clean miss, 200 returns the
 // envelope bytes, anything else is an error.
 func (b *HTTPBackend) GetObject(key Key) ([]byte, bool, error) {
-	resp, err := b.client.Get(b.objectURL(key))
+	return b.GetObjectContext(context.Background(), key)
+}
+
+// GetObjectContext is GetObject honoring ctx for the whole round-trip.
+func (b *HTTPBackend) GetObjectContext(ctx context.Context, key Key) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.objectURL(key), nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: remote get %s: %w", key, err)
+	}
+	resp, err := b.client.Do(req)
 	if err != nil {
 		return nil, false, fmt.Errorf("store: remote get %s: %w", key, err)
 	}
@@ -77,14 +101,19 @@ func (b *HTTPBackend) GetObject(key Key) ([]byte, bool, error) {
 	case http.StatusNotFound:
 		return nil, false, nil
 	default:
-		return nil, false, fmt.Errorf("store: remote get %s: %s", key, resp.Status)
+		return nil, false, statusErr(resp.StatusCode, "store: remote get %s: %s", key, resp.Status)
 	}
 }
 
 // PutObject implements Backend: PUT the envelope bytes; any 2xx is
 // success (the server deduplicates identical writes itself).
 func (b *HTTPBackend) PutObject(key Key, data []byte) error {
-	req, err := http.NewRequest(http.MethodPut, b.objectURL(key), bytes.NewReader(data))
+	return b.PutObjectContext(context.Background(), key, data)
+}
+
+// PutObjectContext is PutObject honoring ctx for the whole round-trip.
+func (b *HTTPBackend) PutObjectContext(ctx context.Context, key Key, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.objectURL(key), bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("store: remote put %s: %w", key, err)
 	}
@@ -96,23 +125,32 @@ func (b *HTTPBackend) PutObject(key Key, data []byte) error {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return fmt.Errorf("store: remote put %s: %s", key, resp.Status)
+		return statusErr(resp.StatusCode, "store: remote put %s: %s", key, resp.Status)
 	}
 	return nil
 }
 
 // ListObjects implements Backend: the server's sorted entry listing.
 func (b *HTTPBackend) ListObjects() ([]Entry, error) {
-	resp, err := b.client.Get(b.base + StorePathPrefix)
+	return b.ListObjectsContext(context.Background())
+}
+
+// ListObjectsContext is ListObjects honoring ctx.
+func (b *HTTPBackend) ListObjectsContext(ctx context.Context) ([]Entry, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+StorePathPrefix, nil)
+	if err != nil {
+		return nil, fmt.Errorf("store: remote list: %w", err)
+	}
+	resp, err := b.client.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("store: remote list: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("store: remote list: %s", resp.Status)
+		return nil, statusErr(resp.StatusCode, "store: remote list: %s", resp.Status)
 	}
 	var out []Entry
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxListBytes)).Decode(&out); err != nil {
 		return nil, fmt.Errorf("store: remote list: %w", err)
 	}
 	if out == nil {
@@ -121,27 +159,46 @@ func (b *HTTPBackend) ListObjects() ([]Entry, error) {
 	return out, nil
 }
 
-// Remote is an HTTP-backed Store: HTTPBackend for the bytes,
-// BackendStore for the verification. `-store http://host:port` opens
-// one, which is how a fleet shares a corpus without a shared
-// filesystem.
+// Remote is an HTTP-backed Store: HTTPBackend for the bytes, a
+// RetryBackend for resilience, BackendStore for the verification.
+// `-store http://host:port` opens one, which is how a fleet shares a
+// corpus without a shared filesystem.
 type Remote struct {
 	*BackendStore
-	backend *HTTPBackend
+	http  *HTTPBackend
+	retry *RetryBackend
 }
 
 // OpenRemote opens a remote store on a serve process sharing its
-// corpus at baseURL.
+// corpus at baseURL, with default retry/breaker policy.
 func OpenRemote(baseURL string, client *http.Client) (*Remote, error) {
+	return OpenRemoteWith(baseURL, client, RetryOptions{})
+}
+
+// OpenRemoteWith opens a remote store with an explicit retry policy.
+func OpenRemoteWith(baseURL string, client *http.Client, opts RetryOptions) (*Remote, error) {
 	b, err := NewHTTPBackend(baseURL, client)
 	if err != nil {
 		return nil, err
 	}
-	return &Remote{BackendStore: NewBackendStore(b), backend: b}, nil
+	rb := NewRetryBackend(b, opts)
+	return &Remote{BackendStore: NewBackendStore(rb), http: b, retry: rb}, nil
 }
 
 // Base returns the remote's base URL.
-func (r *Remote) Base() string { return r.backend.base }
+func (r *Remote) Base() string { return r.http.base }
+
+// Retry returns the retrying backend, for counter inspection.
+func (r *Remote) Retry() *RetryBackend { return r.retry }
+
+// TierStats implements TierStatter: the retry layer's counters.
+func (r *Remote) TierStats() TierStats {
+	return TierStats{Remote: r.retry.statsPtr()}
+}
 
 // List enumerates the remote corpus.
-func (r *Remote) List() ([]Entry, error) { return r.backend.ListObjects() }
+func (r *Remote) List() ([]Entry, error) { return r.retry.ListObjects() }
+
+// maxListBytes bounds a remote listing response; a byzantine server
+// must not balloon coordinator memory through the index route.
+const maxListBytes = 256 << 20

@@ -22,6 +22,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 
 	"ichannels/internal/scenario"
@@ -64,6 +65,31 @@ type Store interface {
 type writeOnly struct{ Store }
 
 func (w writeOnly) Get(Key) (*scenario.Result, bool, error) { return nil, false, nil }
+
+// GetContext must also miss: without this override, a context-aware
+// wrapped store's promoted GetContext would leak reads around the
+// write-only veil.
+func (w writeOnly) GetContext(context.Context, Key) (*scenario.Result, bool, error) {
+	return nil, false, nil
+}
+
+// PutContext forwards writes through the context-aware path.
+func (w writeOnly) PutContext(ctx context.Context, key Key, res *scenario.Result) error {
+	return PutContext(ctx, w.Store, key, res)
+}
+
+// Close forwards lifecycle to the wrapped store (segment handles,
+// replica flush queues): the veil hides reads, not resources.
+func (w writeOnly) Close() error { return CloseStore(w.Store) }
+
+// TierStats forwards the wrapped store's tier counters when it has any,
+// so a write-only replica still reports its flush and retry activity.
+func (w writeOnly) TierStats() TierStats {
+	if t, ok := w.Store.(TierStatter); ok {
+		return t.TierStats()
+	}
+	return TierStats{}
+}
 
 // WriteOnly returns a view of s that persists results but never serves
 // reads from it.

@@ -157,8 +157,15 @@ type Result struct {
 	// StoreErrors counts failed store operations across the run
 	// (unreadable entries recomputed, failed writes). Wall-clock
 	// metadata like the Remote* counters — a degraded store changes
-	// timing, never bytes.
-	StoreErrors int `json:"-"`
+	// timing, never bytes. StoreTransient/StorePermanent split the
+	// count by failure class (network blip vs corrupt envelope).
+	StoreErrors    int `json:"-"`
+	StoreTransient int `json:"-"`
+	StorePermanent int `json:"-"`
+	// StoreTier snapshots the store's remote-path counters (retry
+	// attempts, breaker state, replica cache) after the last pass; nil
+	// for purely local stores. Wall-clock metadata.
+	StoreTier *store.TierStats `json:"-"`
 	// MachinesConstructed and MachinesReused count how many simulated
 	// machines the run built from scratch vs recycled from the pool.
 	// Wall-clock metadata like the Remote* counters: reuse never
@@ -294,6 +301,13 @@ func (st *execState) execute(ctx context.Context, next func() (scenario.Cell, bo
 	st.res.Failed += stats.Failed
 	st.res.Cached += stats.Cached
 	st.res.StoreErrors += stats.StoreErrors
+	st.res.StoreTransient += stats.StoreTransient
+	st.res.StorePermanent += stats.StorePermanent
+	if stats.StoreTier != nil {
+		// Tier counters are cumulative over the store's lifetime, like
+		// the Remote* counters: keep the latest snapshot.
+		st.res.StoreTier = stats.StoreTier
+	}
 	st.res.Elapsed += stats.Elapsed
 	// Cumulative over the runner's (and pool's) lifetime: the last
 	// pass's snapshot is the whole run's total, so overwrite rather
